@@ -1,0 +1,69 @@
+// Command rescue-atpg regenerates the paper's Table 3 ("Scan Chain data"):
+// it builds the baseline and Rescue gate-level pipelines, inserts scan,
+// runs the ATPG flow (random patterns + PODEM with fault dropping), and
+// prints fault counts, scan cells, test vectors, tester cycles, and
+// coverage for both designs.
+//
+// Usage:
+//
+//	rescue-atpg [-small] [-seed N] [-backtracks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rescue/internal/atpg"
+	"rescue/internal/core"
+	"rescue/internal/rtl"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use the reduced test configuration (2-way)")
+	seed := flag.Int64("seed", 1, "ATPG random seed")
+	backtracks := flag.Int("backtracks", 500, "PODEM backtrack limit")
+	flag.Parse()
+
+	cfg := rtl.Default()
+	if *small {
+		cfg = rtl.Small()
+	}
+	gen := atpg.DefaultGenConfig()
+	gen.Seed = *seed
+	gen.MaxBacktracks = *backtracks
+
+	fmt.Println("Table 3: Scan Chain data (paper: baseline 111294 faults / 2768 cells /")
+	fmt.Println("1911 vectors / 5272449 cycles; Rescue 113490 / 3334 / 1787 / 5959645;")
+	fmt.Println("Rescue = fewer vectors, ~13% more cycles). Our model is smaller but the")
+	fmt.Println("same shape must hold.")
+	fmt.Println()
+	fmt.Printf("%-10s %10s %10s %10s %12s %9s %10s\n",
+		"design", "faults", "cells", "vectors", "cycles", "coverage", "runtime")
+
+	var rows []core.ScanSummary
+	for _, v := range []rtl.Variant{rtl.Baseline, rtl.RescueDesign} {
+		start := time.Now()
+		s, err := core.Build(cfg, v)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "build:", err)
+			os.Exit(1)
+		}
+		tp := s.GenerateTests(gen)
+		sum := s.Summary(tp)
+		rows = append(rows, sum)
+		fmt.Printf("%-10s %10d %10d %10d %12d %8.2f%% %10s\n",
+			sum.Variant, sum.Faults, sum.ScanCells, sum.Vectors, sum.Cycles,
+			sum.Coverage*100, time.Since(start).Round(time.Millisecond))
+	}
+	if len(rows) == 2 {
+		fmt.Println()
+		fmt.Printf("Rescue vs baseline: cells %+.1f%%, vectors %+.1f%%, cycles %+.1f%%\n",
+			pct(rows[1].ScanCells, rows[0].ScanCells),
+			pct(rows[1].Vectors, rows[0].Vectors),
+			pct(rows[1].Cycles, rows[0].Cycles))
+	}
+}
+
+func pct(a, b int) float64 { return (float64(a)/float64(b) - 1) * 100 }

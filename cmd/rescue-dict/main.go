@@ -1,0 +1,140 @@
+// Command rescue-dict builds a complete fault dictionary for the Rescue
+// design — every collapsed fault's syndrome (set of failing scan bits)
+// under the generated test program — and optionally diagnoses an observed
+// syndrome against it: the candidate faults and the super-component they
+// implicate. This is the test-floor artifact real diagnosis flows use in
+// place of per-part re-simulation.
+//
+// Usage:
+//
+//	rescue-dict build [-small] -o dict.csv
+//	rescue-dict diagnose [-small] -d dict.csv -bits 12,57,103
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rescue/internal/atpg"
+	"rescue/internal/core"
+	"rescue/internal/fault"
+	"rescue/internal/rtl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "diagnose":
+		diagnose(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rescue-dict build|diagnose [flags]")
+	os.Exit(2)
+}
+
+func system(small bool) (*core.System, *core.TestProgram) {
+	cfg := rtl.Default()
+	if small {
+		cfg = rtl.Small()
+	}
+	sys, err := core.Build(cfg, rtl.RescueDesign)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return sys, sys.GenerateTests(atpg.DefaultGenConfig())
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	small := fs.Bool("small", false, "use the reduced (2-way) configuration")
+	out := fs.String("o", "", "output CSV (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "build: -o required")
+		os.Exit(2)
+	}
+	sys, tp := system(*small)
+	fmt.Printf("building dictionary over %d collapsed faults, %d vectors...\n",
+		tp.Universe.CountCollapsed(), tp.Gen.Vectors)
+	d := fault.BuildDictionary(tp.Gen.Sim, tp.Universe)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d/%d faults detected; dictionary written to %s\n",
+		d.Detected(), tp.Universe.CountCollapsed(), *out)
+	_ = sys
+}
+
+func diagnose(args []string) {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	small := fs.Bool("small", false, "use the reduced (2-way) configuration")
+	dict := fs.String("d", "", "dictionary CSV from `rescue-dict build` (required)")
+	bits := fs.String("bits", "", "comma-separated failing observation indices (required)")
+	fs.Parse(args)
+	if *dict == "" || *bits == "" {
+		fmt.Fprintln(os.Stderr, "diagnose: -d and -bits required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*dict)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	d, err := fault.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var obs []int
+	for _, p := range strings.Split(*bits, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		obs = append(obs, v)
+	}
+	sys, tp := system(*small)
+	if len(d.Syndromes) != tp.Universe.CountCollapsed() {
+		fmt.Fprintf(os.Stderr, "dictionary has %d rows but the design has %d faults (wrong -small?)\n",
+			len(d.Syndromes), tp.Universe.CountCollapsed())
+		os.Exit(1)
+	}
+	cands := d.Lookup(obs)
+	fmt.Printf("%d candidate faults for syndrome %v\n", len(cands), obs)
+	supers := map[string]int{}
+	n := sys.Design.N
+	for _, c := range cands {
+		fsite := tp.Universe.Collapsed[c]
+		comp := n.CompName(n.FaultSiteComp(fsite))
+		supers[sys.Design.Grouping[comp]]++
+	}
+	for s, k := range supers {
+		fmt.Printf("  super-component %-10s %d candidates\n", s, k)
+	}
+	if super, err := sys.Audit.Isolate(obs); err == nil {
+		fmt.Printf("single-lookup isolation: %s\n", super)
+	} else {
+		fmt.Printf("single-lookup isolation: %v\n", err)
+	}
+}

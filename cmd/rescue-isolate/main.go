@@ -1,0 +1,74 @@
+// Command rescue-isolate reproduces the paper's Section 6.1 fault-
+// isolation campaign: N random detectable faults per pipeline stage
+// (fetch, decode, rename, issue, execute, memory) are injected into the
+// Rescue netlist one at a time; each fault's failing scan bits are mapped
+// through the single-lookup isolation table; the implicated super-component
+// is checked against the ground-truth fault site. The paper's result: all
+// 6000 faults isolate correctly.
+//
+// Usage:
+//
+//	rescue-isolate [-small] [-per-stage N] [-seed N] [-multi]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rescue/internal/atpg"
+	"rescue/internal/core"
+	"rescue/internal/rtl"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use the reduced configuration (2-way)")
+	perStage := flag.Int("per-stage", 1000, "faults to sample per stage (paper: 1000)")
+	seed := flag.Int64("seed", 2005, "sampling seed")
+	multi := flag.Bool("multi", false, "also run the multi-fault isolation corollary")
+	flag.Parse()
+
+	cfg := rtl.Default()
+	if *small {
+		cfg = rtl.Small()
+	}
+	start := time.Now()
+	s, err := core.Build(cfg, rtl.RescueDesign)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "build:", err)
+		os.Exit(1)
+	}
+	if !s.Audit.OK() {
+		fmt.Fprintf(os.Stderr, "ICI audit failed: %d violations\n", len(s.Audit.Violations))
+		os.Exit(1)
+	}
+	fmt.Printf("built %s: %d gates, %d scan cells; ICI audit clean\n",
+		s.Design.N.Name, s.Design.N.NumGates(), s.Design.N.NumFFs())
+
+	tp := s.GenerateTests(atpg.DefaultGenConfig())
+	fmt.Printf("ATPG: %d vectors, %.2f%% coverage (%s)\n",
+		tp.Gen.Vectors, tp.Gen.Coverage*100, time.Since(start).Round(time.Millisecond))
+
+	rep := s.IsolateCampaign(tp, *perStage, core.Stages(), *seed)
+	fmt.Println()
+	fmt.Printf("%-10s %9s %9s %7s %10s\n", "stage", "sampled", "isolated", "wrong", "ambiguous")
+	for _, st := range core.Stages() {
+		r := rep.PerStage[st]
+		fmt.Printf("%-10s %9d %9d %7d %10d\n", st, r.Sampled, r.Isolated, r.Wrong, r.Ambiguous)
+	}
+	total := rep.Isolated + rep.Wrong + rep.Ambiguous
+	fmt.Println()
+	fmt.Printf("TOTAL: %d faults simulated, %d isolated correctly, %d wrong, %d ambiguous\n",
+		total, rep.Isolated, rep.Wrong, rep.Ambiguous)
+	fmt.Printf("(paper: 6000/6000 isolated; %d undetectable faults were resampled)\n", rep.Undetected)
+
+	if *multi {
+		ok, trials := s.MultiFaultIsolation(tp, 200, 3, *seed)
+		fmt.Printf("multi-fault corollary: %d/%d trials — all simultaneous faults in\n", ok, trials)
+		fmt.Println("distinct super-components isolated by one pattern set")
+	}
+	if rep.Wrong+rep.Ambiguous > 0 {
+		os.Exit(1)
+	}
+}

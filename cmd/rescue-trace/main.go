@@ -1,0 +1,116 @@
+// Command rescue-trace records synthetic benchmark traces to the compact
+// binary format and replays traces (from this tool or external producers)
+// through the performance simulator.
+//
+// Usage:
+//
+//	rescue-trace record -bench gzip -n 1000000 -o gzip.rsct
+//	rescue-trace replay -i gzip.rsct [-rescue] [-warmup N] [-commit N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rescue/internal/trace"
+	"rescue/internal/uarch"
+	"rescue/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rescue-trace record|replay [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "gzip", "benchmark to record")
+	n := fs.Int64("n", 1_000_000, "instructions")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "record: -o required")
+		os.Exit(2)
+	}
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tw, err := trace.Record(f, workload.New(prof), *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("recorded %d instructions of %s to %s (%.2f bytes/inst)\n",
+		tw.Count(), *bench, *out, float64(st.Size())/float64(tw.Count()))
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "trace file (required)")
+	rescueMachine := fs.Bool("rescue", false, "simulate the Rescue machine (default baseline)")
+	warmup := fs.Int64("warmup", 50_000, "warmup instructions")
+	commit := fs.Int64("commit", 500_000, "measured instructions")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "replay: -i required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p := uarch.DefaultParams()
+	if *rescueMachine {
+		p = uarch.RescueParams()
+	}
+	sim, err := uarch.NewFromSource(p, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := sim.Run(*warmup, *commit)
+	machine := "baseline"
+	if *rescueMachine {
+		machine = "rescue"
+	}
+	fmt.Printf("%s: IPC %.3f over %d instructions (%d cycles)\n",
+		machine, st.IPC(), st.Committed, st.Cycles)
+	if tr.Done() {
+		fmt.Println("note: trace exhausted during the run (tail padded with NOPs)")
+	}
+	if err := tr.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace decode error:", err)
+		os.Exit(1)
+	}
+}

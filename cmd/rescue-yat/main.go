@@ -1,0 +1,93 @@
+// Command rescue-yat reproduces the paper's Figure 9 (yield-adjusted
+// throughput of no-redundancy / core-sparing / Rescue across technology
+// nodes and core-growth rates, for a chosen PWP-stagnation node) and
+// Table 2 (component relative areas).
+//
+// Usage:
+//
+//	rescue-yat -areas
+//	rescue-yat [-stagnate 90|65] [-bench list] [-warmup N] [-commit N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rescue/internal/area"
+	"rescue/internal/core"
+)
+
+func main() {
+	areas := flag.Bool("areas", false, "print Table 2 and exit")
+	stagnate := flag.Int("stagnate", 90, "node (nm) at which PWP stops improving (90 or 65)")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 23)")
+	warmup := flag.Int64("warmup", 20_000, "warmup instructions per simulation")
+	commit := flag.Int64("commit", 150_000, "measured instructions per simulation")
+	flag.Parse()
+
+	if *areas {
+		printAreas()
+		return
+	}
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	fmt.Printf("Figure 9%s: YAT with PWP stagnating at %dnm\n", panel(*stagnate), *stagnate)
+	fmt.Println("(building per-node degraded-IPC models: 65 simulations per benchmark per node)")
+	models := map[int]*core.PerfModel{}
+	for _, node := range area.Nodes() {
+		start := time.Now()
+		pm, err := core.BuildPerfModel(node, names, *warmup, *commit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		models[node.NodeNM] = pm
+		fmt.Printf("  %dnm model built (%s)\n", node.NodeNM, time.Since(start).Round(time.Second))
+	}
+
+	rows, err := core.YATStudy(area.Node(*stagnate), models)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Printf("%5s %7s %6s %8s %8s %8s %12s\n",
+		"node", "growth", "cores", "none", "+CS", "+Rescue", "Rescue/CS")
+	for _, r := range rows {
+		fmt.Printf("%4dnm %6.0f%% %6d %8.3f %8.3f %8.3f %+11.1f%%\n",
+			r.NodeNM, r.Growth*100, r.Cores, r.RelNone, r.RelCS, r.RelRescue, r.RescueOverCSPct)
+	}
+	fmt.Println()
+	fmt.Println("relative YAT = chip YAT / (cores x fault-free IPC), averaged over benchmarks")
+	fmt.Println("paper headline (stagnate 90nm, 30% growth): +12% at 32nm, +22% at 18nm")
+}
+
+func panel(stagnate int) string {
+	if stagnate == 90 {
+		return "a"
+	}
+	return "b"
+}
+
+func printAreas() {
+	b := area.BaselineWithScan()
+	r := area.Rescue()
+	fmt.Println("Table 2: Total areas and component relative areas (90nm)")
+	fmt.Println()
+	fmt.Printf("  Baseline core with scan: %6.1f mm²   (paper: ~96 mm²)\n", b.Total)
+	fmt.Printf("  Rescue core:             %6.1f mm²   (paper: ~106.7 mm²)\n", r.Total)
+	fmt.Println()
+	fmt.Printf("  %-14s %9s %9s\n", "component", "pair mm²", "fraction")
+	for g := area.Group(0); g < area.NumGroups; g++ {
+		fmt.Printf("  %-14s %9.2f %8.1f%%\n", g, r.PairArea[g], r.Frac(g)*100)
+	}
+	fmt.Println()
+	fmt.Println("  (paper's legible entries: int backend 15%, fp backend 21%, chipkill 40%)")
+}

@@ -1,0 +1,82 @@
+// Degraded-operation survey: what does each map-out mode cost?
+//
+// A binning house receives Rescue chips with various isolated defects and
+// wants a performance bin for every salvageable configuration. This example
+// sweeps the single-component map-out modes of Section 4 over three
+// representative workloads and prints the IPC loss of each.
+//
+//	go run ./examples/degraded
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rescue/internal/core"
+	"rescue/internal/uarch"
+	"rescue/internal/workload"
+)
+
+func main() {
+	modes := []struct {
+		name   string
+		supers []string
+	}{
+		{"frontend group down (2-wide fetch/rename)", []string{"FE0"}},
+		{"int backend group down (2 ALUs, 1 mem port)", []string{"BE0"}},
+		{"int issue-queue half down (18 entries)", []string{"IQ0"}},
+		{"LSQ half down (16 entries)", []string{"LSQ0"}},
+		{"worst salvageable (one of everything)", []string{"FE0", "BE0", "IQ0", "LSQ0"}},
+	}
+	benches := []string{"gzip", "swim", "mcf"}
+	const warmup, commit = 20_000, 300_000
+
+	full := map[string]float64{}
+	for _, b := range benches {
+		prof, err := workload.ByName(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := uarch.New(uarch.RescueParams(), prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		full[b] = s.Run(warmup, commit).IPC()
+	}
+	fmt.Printf("%-45s", "mode \\ benchmark")
+	for _, b := range benches {
+		fmt.Printf(" %10s", b)
+	}
+	fmt.Println()
+	fmt.Printf("%-45s", "fault-free IPC")
+	for _, b := range benches {
+		fmt.Printf(" %10.3f", full[b])
+	}
+	fmt.Println()
+	fmt.Println()
+
+	for _, m := range modes {
+		degr, err := core.MapOut(m.supers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-45s", m.name)
+		for _, b := range benches {
+			prof, err := workload.ByName(b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := uarch.RescueParams()
+			p.Degr = degr
+			s, err := uarch.New(p, prof)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ipc := s.Run(warmup, commit).IPC()
+			fmt.Printf("   %+6.1f%%", -(1-ipc/full[b])*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("every row is a chip core sparing would have discarded entirely")
+}

@@ -1,0 +1,3 @@
+module rescue
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package area implements the paper's area model (Section 5, Table 2): the
+// relative silicon areas of the fault-equivalence groups, the chipkill
+// accounting (scan cells, branch prediction, TLBs, fetch-PC logic, routing
+// control), the Rescue overheads (table copies, shift stages, +5% per
+// redundant component), and the technology/core-growth scaling used by the
+// Figure 9 yield analysis.
+package area
+
+import "math"
+
+// Group names the fault-equivalence groups of one core. Redundant groups
+// come in pairs (the paper's halves); Chipkill is everything whose single
+// fault kills the core.
+type Group int
+
+// Fault-equivalence groups.
+const (
+	Frontend Group = iota // one of two frontend groups (2 ways each)
+	IntIQ                 // one of two int issue-queue halves
+	FPIQ                  // one of two fp issue-queue halves
+	LSQ                   // one of two LSQ halves
+	IntBE                 // one of two int backend groups
+	FPBE                  // one of two fp backend groups
+	Chipkill
+	NumGroups
+)
+
+var groupNames = [...]string{"frontend", "int-iq", "fp-iq", "lsq", "int-backend", "fp-backend", "chipkill"}
+
+func (g Group) String() string { return groupNames[g] }
+
+// Model holds per-core areas in mm² at the reference (90nm) node.
+type Model struct {
+	// PairArea[g] is the combined area of BOTH members of a redundant pair
+	// (halved for a single group); Chipkill uses the full value.
+	PairArea [NumGroups]float64
+	Total    float64
+}
+
+// Baseline raw component areas (mm² at 90nm, pre-scan), estimated from the
+// HotSpot Alpha-derived floorplan the paper uses, scaled so the baseline
+// core with scan lands at Table 2's ~96mm² (the core fills most of the
+// 140mm² chip at 90nm; the remainder is the repair-covered L2). Figure 9
+// depends on the ratios and on the total relative to the 140mm²
+// calibration area.
+const (
+	rawFrontend = 12.55 // decode + rename logic + map tables + free list
+	rawIntIQ    = 3.66
+	rawFPIQ     = 2.62
+	rawLSQ      = 7.59
+	rawIntBE    = 16.22 // 2 groups: ALUs, mul/div, mem ports, int RF copies
+	rawFPBE     = 22.50
+	rawChipkill = 30.87 // bpred, BTB, TLBs, fetch PC, control/routing
+	// fraction of the rename-table area within the frontend, and of the fp
+	// register file within the fp backend (the structures that get
+	// two-copies-with-half-ports treatment, +50% total area)
+	tableFracOfFE = 0.35
+	fpRFFracOfBE  = 0.30
+	// scan-cell chipkill fractions measured on the verilog model (Section
+	// 5): 25% of queue area, 12% of everything else
+	scanFracQueue = 0.25
+	scanFracLogic = 0.12
+	// shift-stage area overheads: +6% frontend, +2% per backend
+	shiftFE = 0.06
+	shiftBE = 0.02
+	// +5% on every redundant component for transformation overheads
+	redundantOverhead = 0.05
+)
+
+// BaselineWithScan returns the baseline core (conventional superscalar,
+// scan inserted, no Rescue transformations). The whole core is one
+// fault-equivalence group — any fault kills it — so only Total matters for
+// the yield model; the breakdown is kept for Table 2.
+func BaselineWithScan() Model {
+	var m Model
+	m.PairArea[Frontend] = rawFrontend
+	m.PairArea[IntIQ] = rawIntIQ
+	m.PairArea[FPIQ] = rawFPIQ
+	m.PairArea[LSQ] = rawLSQ
+	m.PairArea[IntBE] = rawIntBE
+	m.PairArea[FPBE] = rawFPBE
+	m.PairArea[Chipkill] = rawChipkill
+	for g := Group(0); g < NumGroups; g++ {
+		m.Total += m.PairArea[g]
+	}
+	// scan cells add area but are part of each block (all chipkill anyway)
+	m.Total *= 1 + scanFracLogic*0.35 // modest whole-core scan overhead
+	return m
+}
+
+// Rescue returns the Rescue core model: transformation overheads applied,
+// scan-cell area charged to chipkill.
+func Rescue() Model {
+	var m Model
+	fe := rawFrontend * (1 + shiftFE + 0.5*tableFracOfFE) // shifters + table copies
+	iqi := rawIntIQ
+	iqf := rawFPIQ
+	lsq := rawLSQ
+	ibe := rawIntBE * (1 + shiftBE)
+	fbe := rawFPBE * (1 + shiftBE + 0.5*fpRFFracOfBE)
+	ck := rawChipkill
+
+	// +5% overhead on all redundant components
+	fe *= 1 + redundantOverhead
+	iqi *= 1 + redundantOverhead
+	iqf *= 1 + redundantOverhead
+	lsq *= 1 + redundantOverhead
+	ibe *= 1 + redundantOverhead
+	fbe *= 1 + redundantOverhead
+
+	// scan cells are chipkill: move the measured fractions out of each
+	// block into the chipkill bucket
+	moveQ := scanFracQueue * (iqi + iqf + lsq)
+	moveL := scanFracLogic * (fe + ibe + fbe)
+	ck += moveQ + moveL
+	iqi *= 1 - scanFracQueue
+	iqf *= 1 - scanFracQueue
+	lsq *= 1 - scanFracQueue
+	fe *= 1 - scanFracLogic
+	ibe *= 1 - scanFracLogic
+	fbe *= 1 - scanFracLogic
+
+	m.PairArea[Frontend] = fe
+	m.PairArea[IntIQ] = iqi
+	m.PairArea[FPIQ] = iqf
+	m.PairArea[LSQ] = lsq
+	m.PairArea[IntBE] = ibe
+	m.PairArea[FPBE] = fbe
+	m.PairArea[Chipkill] = ck
+	for g := Group(0); g < NumGroups; g++ {
+		m.Total += m.PairArea[g]
+	}
+	return m
+}
+
+// RescueSelfHeal extends the Rescue model with the self-healing-array
+// integration the paper's related work proposes (Bower et al.): the
+// predictor tables and active list — btbShare of the chipkill bucket —
+// gain detect-and-avoid entry fault tolerance (+5% overhead on that area)
+// and stop being chipkill. The returned model's chipkill group shrinks;
+// the healed area is dropped from the fault-sensitive total because entry
+// faults there cost capacity, not correctness.
+func RescueSelfHeal(btbShare float64) Model {
+	m := Rescue()
+	healed := m.PairArea[Chipkill] * btbShare
+	m.PairArea[Chipkill] -= healed
+	// the healed structures still occupy silicon (plus spares overhead)
+	// but their faults no longer kill the core; Total tracks the
+	// fault-sensitive area used by the yield model
+	m.Total -= healed
+	m.Total += healed * redundantOverhead // residual checker logic stays fatal
+	m.PairArea[Chipkill] += healed * redundantOverhead
+	return m
+}
+
+// Frac returns a group's pair-area fraction of the core.
+func (m Model) Frac(g Group) float64 { return m.PairArea[g] / m.Total }
+
+// SingleArea returns the area of ONE member of a redundant pair (half the
+// pair area). For Chipkill it returns the full area.
+func (m Model) SingleArea(g Group) float64 {
+	if g == Chipkill {
+		return m.PairArea[g]
+	}
+	return m.PairArea[g] / 2
+}
+
+// Scaling describes a technology node relative to the 90nm reference.
+type Scaling struct {
+	NodeNM int
+	// Halvings is the number of device-area halvings since 90nm:
+	// 2*log2(90/node).
+	Halvings float64
+}
+
+// Node builds the scaling descriptor for a feature size in nm.
+func Node(nm int) Scaling {
+	return Scaling{NodeNM: nm, Halvings: 2 * math.Log2(90/float64(nm))}
+}
+
+// Nodes returns the four plotted nodes of Figure 9.
+func Nodes() []Scaling {
+	return []Scaling{Node(90), Node(65), Node(32), Node(18)}
+}
+
+// CoreArea returns a core's area in mm² at this node under core growth g
+// per halving: area shrinks 2x per halving, grows (1+g) per halving.
+func (s Scaling) CoreArea(refArea, growth float64) float64 {
+	return refArea * math.Pow(0.5, s.Halvings) * math.Pow(1+growth, s.Halvings)
+}
+
+// Cores returns the number of cores fabricated per chip: the total core
+// budget is fixed (the ITRS 140mm² at the reference node holds one core),
+// so cores = 2^h / (1+g)^h, rounded, minimum 1. This reproduces the
+// paper's table under Figure 9: 11/7/5/4 cores at 18nm for 20/30/40/50%
+// growth, and two cores at 65nm.
+func (s Scaling) Cores(growth float64) int {
+	n := math.Pow(2, s.Halvings) / math.Pow(1+growth, s.Halvings)
+	c := int(math.Round(n))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// GrowthRates returns the four plotted growth rates.
+func GrowthRates() []float64 { return []float64{0.20, 0.30, 0.40, 0.50} }

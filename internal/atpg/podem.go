@@ -1,0 +1,561 @@
+package atpg
+
+import (
+	"rescue/internal/netlist"
+)
+
+// podem is the working state of one PODEM run.
+type podem struct {
+	n     *netlist.Netlist
+	fault netlist.Fault
+
+	// pis lists the controllable points: primary inputs then FF Q nets.
+	pis []netlist.NetID
+	// piIndex maps net -> index in pis, or -1.
+	piIndex []int
+	// assign holds the current PI decisions (X = unassigned).
+	assign []V3
+
+	good, bad []V3 // per-net planes
+
+	obsNets []netlist.NetID
+
+	backtracks    int
+	maxBacktracks int
+}
+
+// Cube is a generated test cube: per-PI three-valued assignments (primary
+// inputs first, then FF scan cells, matching podem.pis order).
+type Cube struct {
+	PI []V3 // len = len(netlist.Inputs)
+	FF []V3 // len = NumFFs
+}
+
+// PodemResult classifies a PODEM run.
+type PodemResult int
+
+// PODEM outcomes.
+const (
+	Detected PodemResult = iota
+	Untestable
+	Aborted
+)
+
+func (r PodemResult) String() string {
+	switch r {
+	case Detected:
+		return "detected"
+	case Untestable:
+		return "untestable"
+	default:
+		return "aborted"
+	}
+}
+
+// Podem attempts to generate a test for fault f on n. maxBacktracks bounds
+// the search (typical production values are 10-100).
+func Podem(n *netlist.Netlist, f netlist.Fault, maxBacktracks int) (Cube, PodemResult) {
+	p := &podem{n: n, fault: f, maxBacktracks: maxBacktracks}
+	p.pis = make([]netlist.NetID, 0, len(n.Inputs)+n.NumFFs())
+	p.pis = append(p.pis, n.Inputs...)
+	for i := range n.FFs {
+		p.pis = append(p.pis, n.FFs[i].Q)
+	}
+	p.piIndex = make([]int, n.NumNets())
+	for i := range p.piIndex {
+		p.piIndex[i] = -1
+	}
+	for i, net := range p.pis {
+		p.piIndex[net] = i
+	}
+	p.assign = make([]V3, len(p.pis))
+	p.good = make([]V3, n.NumNets())
+	p.bad = make([]V3, n.NumNets())
+	for fi := range n.FFs {
+		p.obsNets = append(p.obsNets, n.FFs[fi].D)
+	}
+	p.obsNets = append(p.obsNets, n.Outputs...)
+
+	ok, aborted := p.search()
+	cube := Cube{PI: make([]V3, len(n.Inputs)), FF: make([]V3, n.NumFFs())}
+	copy(cube.PI, p.assign[:len(n.Inputs)])
+	copy(cube.FF, p.assign[len(n.Inputs):])
+	switch {
+	case ok:
+		return cube, Detected
+	case aborted:
+		return Cube{}, Aborted
+	default:
+		return Cube{}, Untestable
+	}
+}
+
+type decision struct {
+	pi        int
+	value     V3
+	triedBoth bool
+}
+
+// search runs the PODEM decision loop. Returns (found, aborted).
+func (p *podem) search() (bool, bool) {
+	var stack []decision
+	for {
+		p.imply()
+		if p.errorAtOutput() {
+			return true, false
+		}
+		feasible := p.feasible()
+		if feasible {
+			net, val, ok := p.objective()
+			if ok {
+				pi, pv := p.backtrace(net, val)
+				if pi >= 0 {
+					stack = append(stack, decision{pi: pi, value: pv})
+					p.assign[pi] = pv
+					continue
+				}
+			}
+			// no objective or backtrace dead-ends: treat as infeasible
+		}
+		// backtrack
+		flipped := false
+		for len(stack) > 0 {
+			d := &stack[len(stack)-1]
+			if !d.triedBoth {
+				d.triedBoth = true
+				d.value = not3(d.value)
+				p.assign[d.pi] = d.value
+				p.backtracks++
+				flipped = true
+				break
+			}
+			p.assign[d.pi] = X
+			stack = stack[:len(stack)-1]
+		}
+		if !flipped {
+			return false, false // exhausted: untestable
+		}
+		if p.backtracks > p.maxBacktracks {
+			return false, true
+		}
+	}
+}
+
+// imply performs full forward 5-valued implication from the current PI
+// assignments.
+func (p *podem) imply() {
+	n := p.n
+	for i := range p.good {
+		p.good[i] = X
+		p.bad[i] = X
+	}
+	for i, net := range p.pis {
+		p.good[net] = p.assign[i]
+		p.bad[net] = p.assign[i]
+	}
+	// FF-output fault: faulty plane of Q is forced
+	if p.fault.Gate < 0 && p.fault.FF >= 0 {
+		q := n.FFs[p.fault.FF].Q
+		p.bad[q] = saVal(p.fault.StuckAt1)
+	}
+	for _, gi := range n.TopoOrder() {
+		g := &n.Gates[gi]
+		p.good[g.Out] = evalPlane3(g, p.good, netlist.NoFault, gi)
+		p.bad[g.Out] = evalPlane3(g, p.bad, p.fault, gi)
+	}
+}
+
+func saVal(sa1 bool) V3 {
+	if sa1 {
+		return One
+	}
+	return Zero
+}
+
+// evalPlane3 evaluates one gate in one plane, honoring fault injection if f
+// targets this gate.
+func evalPlane3(g *netlist.Gate, plane []V3, f netlist.Fault, gi netlist.GateID) V3 {
+	var buf [8]V3
+	ins := buf[:0]
+	for _, in := range g.In {
+		ins = append(ins, plane[in])
+	}
+	if f.Gate == gi && f.Pin >= 0 {
+		ins[f.Pin] = saVal(f.StuckAt1)
+	}
+	var v V3
+	switch g.Kind {
+	case netlist.And, netlist.Nand:
+		v = One
+		for _, x := range ins {
+			v = and3(v, x)
+		}
+		if g.Kind == netlist.Nand {
+			v = not3(v)
+		}
+	case netlist.Or, netlist.Nor:
+		v = Zero
+		for _, x := range ins {
+			v = or3(v, x)
+		}
+		if g.Kind == netlist.Nor {
+			v = not3(v)
+		}
+	case netlist.Xor, netlist.Xnor:
+		v = Zero
+		for _, x := range ins {
+			v = xor3(v, x)
+		}
+		if g.Kind == netlist.Xnor {
+			v = not3(v)
+		}
+	case netlist.Not:
+		v = not3(ins[0])
+	case netlist.Buf:
+		v = ins[0]
+	case netlist.Mux2:
+		v = mux3(ins[0], ins[1], ins[2])
+	case netlist.Const0:
+		v = Zero
+	case netlist.Const1:
+		v = One
+	}
+	if f.Gate == gi && f.Pin < 0 {
+		v = saVal(f.StuckAt1)
+	}
+	return v
+}
+
+// isError reports whether net carries D or D'.
+func (p *podem) isError(net netlist.NetID) bool {
+	g, b := p.good[net], p.bad[net]
+	return g != X && b != X && g != b
+}
+
+func (p *podem) errorAtOutput() bool {
+	for _, net := range p.obsNets {
+		if p.isError(net) {
+			return true
+		}
+	}
+	// FF-output faults are observed directly on scan-out of the faulty cell
+	if p.fault.Gate < 0 && p.fault.FF >= 0 {
+		d := p.n.FFs[p.fault.FF].D
+		if p.good[d] != X && p.good[d] != saVal(p.fault.StuckAt1) {
+			return true
+		}
+	}
+	return false
+}
+
+// siteLine returns the net whose good value activates the fault.
+func (p *podem) siteLine() netlist.NetID {
+	f := p.fault
+	switch {
+	case f.Gate >= 0 && f.Pin >= 0:
+		return p.n.Gates[f.Gate].In[f.Pin]
+	case f.Gate >= 0:
+		return p.n.Gates[f.Gate].Out
+	default:
+		return p.n.FFs[f.FF].D // activation for FF faults: capture opposite value
+	}
+}
+
+// activated reports whether the fault currently produces an error at its
+// site.
+func (p *podem) activated() bool {
+	f := p.fault
+	switch {
+	case f.Gate >= 0 && f.Pin >= 0:
+		// error appears at the gate output if the pin divergence propagates;
+		// activation condition: good value of pin line is opposite the stuck
+		// value — the output error is then up to propagation.
+		return p.good[p.siteLine()] == not3(saVal(f.StuckAt1)) && p.isError(p.n.Gates[f.Gate].Out)
+	case f.Gate >= 0:
+		return p.isError(p.n.Gates[f.Gate].Out)
+	default:
+		q := p.n.FFs[f.FF].Q
+		return p.isError(q) || p.good[q] == not3(saVal(f.StuckAt1))
+	}
+}
+
+// feasible checks whether the current partial assignment can still lead to
+// detection: the fault can still be activated, and if activated, an X-path
+// exists from the D-frontier to an observation point.
+func (p *podem) feasible() bool {
+	f := p.fault
+	// activation still possible?
+	line := p.siteLine()
+	want := not3(saVal(f.StuckAt1))
+	if f.Gate >= 0 && f.Pin >= 0 {
+		if p.good[line] != X && p.good[line] != want {
+			return false
+		}
+	} else if f.Gate >= 0 {
+		if p.good[line] != X && p.good[line] != want {
+			return false
+		}
+	} else {
+		// FF fault: D capture or combinational propagation from Q
+		dNet := p.n.FFs[f.FF].D
+		if p.good[dNet] != X && p.good[dNet] != want {
+			// direct capture observation blocked; combinational path from Q
+			// may still work — fall through to frontier check
+			if len(p.dFrontier()) == 0 && !p.errorAtOutput() {
+				return false
+			}
+		}
+		return true
+	}
+	// If error exists somewhere, require an X-path to an output.
+	if p.anyError() {
+		return p.xPathExists()
+	}
+	return true
+}
+
+func (p *podem) anyError() bool {
+	for _, g := range p.n.Gates {
+		if p.isError(g.Out) {
+			return true
+		}
+	}
+	if p.fault.Gate < 0 && p.fault.FF >= 0 && p.isError(p.n.FFs[p.fault.FF].Q) {
+		return true
+	}
+	return false
+}
+
+// dFrontier returns gates with an error on some input and a non-error,
+// not-fully-determined output.
+func (p *podem) dFrontier() []netlist.GateID {
+	var out []netlist.GateID
+	for gi := range p.n.Gates {
+		g := &p.n.Gates[gi]
+		if p.isError(g.Out) {
+			continue
+		}
+		if p.good[g.Out] != X && p.bad[g.Out] != X {
+			continue // fully determined, error cannot appear anymore
+		}
+		for _, in := range g.In {
+			if p.isError(in) {
+				out = append(out, netlist.GateID(gi))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// xPathExists checks structural reachability from any error net or
+// D-frontier gate to an observation point through nets that are not fully
+// determined.
+func (p *podem) xPathExists() bool {
+	// error directly at an obs point counts
+	if p.errorAtOutput() {
+		return true
+	}
+	frontier := p.dFrontier()
+	if len(frontier) == 0 {
+		return false
+	}
+	obsSet := map[netlist.NetID]bool{}
+	for _, net := range p.obsNets {
+		obsSet[net] = true
+	}
+	fanout := p.n.GateFanout()
+	seen := make([]bool, p.n.NumGates())
+	stack := append([]netlist.GateID(nil), frontier...)
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		out := p.n.Gates[g].Out
+		if obsSet[out] {
+			return true
+		}
+		if p.good[out] != X && p.bad[out] != X && !p.isError(out) {
+			continue // blocked: fully determined without error
+		}
+		for _, s := range fanout[g] {
+			stack = append(stack, s)
+		}
+	}
+	return false
+}
+
+// objective picks the next (net, value) goal: activate the fault if not
+// yet activated, otherwise advance a D-frontier gate.
+func (p *podem) objective() (netlist.NetID, V3, bool) {
+	f := p.fault
+	want := not3(saVal(f.StuckAt1))
+	line := p.siteLine()
+	if f.Gate >= 0 {
+		if p.good[line] == X {
+			return line, want, true
+		}
+	} else {
+		// FF fault: goal is to capture the opposite value into the cell (or
+		// propagate combinationally; capture goal is the simple one)
+		if p.good[line] == X {
+			return line, want, true
+		}
+	}
+	// Input-pin faults: once the pin line is activated the divergence lives
+	// inside the faulty gate, which the D-frontier (a net-level notion)
+	// cannot see. Sensitize the faulty gate by setting its other X inputs
+	// to non-controlling values.
+	if f.Gate >= 0 && f.Pin >= 0 && p.good[line] == want {
+		g := &p.n.Gates[f.Gate]
+		out := g.Out
+		if !p.isError(out) && (p.good[out] == X || p.bad[out] == X) {
+			nc, has := nonControlling(g.Kind)
+			for pin, in := range g.In {
+				if pin == f.Pin || p.good[in] != X {
+					continue
+				}
+				if g.Kind == netlist.Mux2 && pin == 0 {
+					// route the faulty data pin through the mux
+					if f.Pin == 1 {
+						return in, Zero, true
+					}
+					return in, One, true
+				}
+				if has {
+					return in, nc, true
+				}
+				return in, Zero, true
+			}
+		}
+	}
+	frontier := p.dFrontier()
+	for _, gi := range frontier {
+		g := &p.n.Gates[gi]
+		// set an X input to the gate's non-controlling value
+		nc, has := nonControlling(g.Kind)
+		for pin, in := range g.In {
+			if p.good[in] == X {
+				if g.Kind == netlist.Mux2 && pin == 0 {
+					// select the data input carrying the error
+					for di := 1; di <= 2; di++ {
+						if p.isError(g.In[di]) {
+							if di == 1 {
+								return in, Zero, true
+							}
+							return in, One, true
+						}
+					}
+					return in, Zero, true
+				}
+				if has {
+					return in, nc, true
+				}
+				// XOR-family: any definite value sensitizes
+				return in, Zero, true
+			}
+		}
+	}
+	return 0, X, false
+}
+
+// nonControlling returns the non-controlling input value of a gate kind.
+func nonControlling(k netlist.GateKind) (V3, bool) {
+	switch k {
+	case netlist.And, netlist.Nand:
+		return One, true
+	case netlist.Or, netlist.Nor:
+		return Zero, true
+	}
+	return X, false
+}
+
+// backtrace walks an objective back to an unassigned PI, returning the PI
+// index and value (or -1 if no X input path exists).
+func (p *podem) backtrace(net netlist.NetID, val V3) (int, V3) {
+	for hops := 0; hops < p.n.NumNets()+4; hops++ {
+		if pi := p.piIndex[net]; pi >= 0 {
+			if p.assign[pi] != X {
+				return -1, X // already assigned; objective unreachable
+			}
+			return pi, val
+		}
+		gid := p.n.DriverGate(net)
+		if gid < 0 {
+			return -1, X // FF D as objective shouldn't occur outside obs
+		}
+		g := &p.n.Gates[gid]
+		switch g.Kind {
+		case netlist.Not:
+			net, val = g.In[0], not3(val)
+		case netlist.Buf:
+			net = g.In[0]
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+			inv := g.Kind == netlist.Nand || g.Kind == netlist.Nor
+			target := val
+			if inv {
+				target = not3(val)
+			}
+			// choose an X input: if target is the controlling value one X
+			// input suffices; otherwise all inputs need the non-controlling
+			// value — either way descending into the first X input works.
+			next := netlist.InvalidNet
+			for _, in := range g.In {
+				if p.good[in] == X {
+					next = in
+					break
+				}
+			}
+			if next == netlist.InvalidNet {
+				return -1, X
+			}
+			net, val = next, target
+		case netlist.Xor, netlist.Xnor:
+			target := val
+			if g.Kind == netlist.Xnor {
+				target = not3(val)
+			}
+			// parity of known inputs
+			parity := Zero
+			next := netlist.InvalidNet
+			for _, in := range g.In {
+				if p.good[in] == X {
+					if next == netlist.InvalidNet {
+						next = in
+					}
+				} else {
+					parity = xor3(parity, p.good[in])
+				}
+			}
+			if next == netlist.InvalidNet {
+				return -1, X
+			}
+			net, val = next, xor3(target, parity)
+		case netlist.Mux2:
+			sel, a, b := g.In[0], g.In[1], g.In[2]
+			switch {
+			case p.good[sel] == Zero:
+				net = a
+			case p.good[sel] == One:
+				net = b
+			case p.good[a] == X:
+				net = a // will need sel=0 later; objective loop handles it
+			case p.good[b] == X:
+				net = b
+			default:
+				// both data known, sel X: set sel to pick the matching one
+				if p.good[a] == val {
+					net, val = sel, Zero
+				} else {
+					net, val = sel, One
+				}
+			}
+		case netlist.Const0, netlist.Const1:
+			return -1, X
+		}
+	}
+	return -1, X
+}

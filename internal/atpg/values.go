@@ -1,0 +1,86 @@
+// Package atpg implements automatic test pattern generation for full-scan
+// netlists: a PODEM path-oriented decision engine over 5-valued logic
+// (0, 1, X, D, D'), preceded by a random-pattern phase with fault dropping.
+// This is the role Synopsys TetraMax plays in the paper's methodology
+// (Sections 2 and 6.1, Table 3).
+//
+// Full scan reduces sequential ATPG to combinational ATPG: flip-flop Q
+// outputs are controllable (pseudo primary inputs, loaded by scan-in) and
+// flip-flop D inputs are observable (pseudo primary outputs, sampled by the
+// capture clock and shifted out).
+package atpg
+
+// V3 is a three-valued logic value for one plane (good or faulty machine).
+type V3 uint8
+
+// Three-valued constants. X is "unassigned / unknown".
+const (
+	X V3 = iota
+	Zero
+	One
+)
+
+func (v V3) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+func not3(a V3) V3 {
+	switch a {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+func and3(acc, b V3) V3 {
+	if acc == Zero || b == Zero {
+		return Zero
+	}
+	if acc == One && b == One {
+		return One
+	}
+	return X
+}
+
+func or3(acc, b V3) V3 {
+	if acc == One || b == One {
+		return One
+	}
+	if acc == Zero && b == Zero {
+		return Zero
+	}
+	return X
+}
+
+func xor3(a, b V3) V3 {
+	if a == X || b == X {
+		return X
+	}
+	if a == b {
+		return Zero
+	}
+	return One
+}
+
+func mux3(sel, a, b V3) V3 {
+	switch sel {
+	case Zero:
+		return a
+	case One:
+		return b
+	}
+	// sel unknown: output known only if both data inputs agree
+	if a != X && a == b {
+		return a
+	}
+	return X
+}

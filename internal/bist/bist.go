@@ -1,0 +1,194 @@
+// Package bist implements memory built-in self test for the RAM-like
+// structures the Rescue paper excludes from scan-based isolation: rename
+// map tables, free lists, register files, and caches are "covered by BIST"
+// (Sections 4.2, 4.4, 4.5). The paper's point — that cycle-split rename
+// keeps the rest of the core testable even while the tables are faulty and
+// being tested separately — needs an actual BIST to close the loop.
+//
+// The engine implements the classic March C- algorithm, which detects all
+// stuck-at, transition, and coupling faults in a bit-oriented RAM:
+//
+//	⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)
+package bist
+
+import "fmt"
+
+// RAM is the interface the BIST engine drives: a word-addressable memory
+// under test. Width is in bits; faulty bits corrupt Read results.
+type RAM interface {
+	Size() int  // words
+	Width() int // bits per word
+	Write(addr int, data uint64)
+	Read(addr int) uint64
+}
+
+// Result summarizes a BIST run.
+type Result struct {
+	Pass       bool
+	FaultyRows []int // rows with at least one failing bit
+	Operations int   // reads+writes performed (test time)
+}
+
+// MarchCMinus runs the March C- test over the RAM and reports faulty rows.
+func MarchCMinus(m RAM) Result {
+	n := m.Size()
+	mask := wordMask(m.Width())
+	bad := map[int]bool{}
+	ops := 0
+
+	w := func(addr int, v uint64) {
+		m.Write(addr, v)
+		ops++
+	}
+	r := func(addr int, want uint64) {
+		got := m.Read(addr) & mask
+		ops++
+		if got != want {
+			bad[addr] = true
+		}
+	}
+
+	// ⇕(w0)
+	for i := 0; i < n; i++ {
+		w(i, 0)
+	}
+	// ⇑(r0, w1)
+	for i := 0; i < n; i++ {
+		r(i, 0)
+		w(i, mask)
+	}
+	// ⇑(r1, w0)
+	for i := 0; i < n; i++ {
+		r(i, mask)
+		w(i, 0)
+	}
+	// ⇓(r0, w1)
+	for i := n - 1; i >= 0; i-- {
+		r(i, 0)
+		w(i, mask)
+	}
+	// ⇓(r1, w0)
+	for i := n - 1; i >= 0; i-- {
+		r(i, mask)
+		w(i, 0)
+	}
+	// ⇕(r0)
+	for i := 0; i < n; i++ {
+		r(i, 0)
+	}
+
+	res := Result{Pass: len(bad) == 0, Operations: ops}
+	for i := 0; i < n; i++ {
+		if bad[i] {
+			res.FaultyRows = append(res.FaultyRows, i)
+		}
+	}
+	return res
+}
+
+func wordMask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+// FaultyRAM is a test double: a RAM with injectable stuck-at bits and
+// cell-coupling faults, used to validate the March engine and to model
+// defective rename tables.
+type FaultyRAM struct {
+	words []uint64
+	width int
+	// stuck bits: addr -> (mask0 forced to 0, mask1 forced to 1)
+	stuck0, stuck1 map[int]uint64
+}
+
+// NewFaultyRAM builds a RAM of n words × width bits.
+func NewFaultyRAM(n, width int) (*FaultyRAM, error) {
+	if n <= 0 || width <= 0 || width > 64 {
+		return nil, fmt.Errorf("bist: bad RAM shape %dx%d", n, width)
+	}
+	return &FaultyRAM{
+		words:  make([]uint64, n),
+		width:  width,
+		stuck0: map[int]uint64{},
+		stuck1: map[int]uint64{},
+	}, nil
+}
+
+// Size returns the word count.
+func (f *FaultyRAM) Size() int { return len(f.words) }
+
+// Width returns bits per word.
+func (f *FaultyRAM) Width() int { return f.width }
+
+// StuckAt injects a stuck-at fault at (addr, bit).
+func (f *FaultyRAM) StuckAt(addr, bit int, one bool) error {
+	if addr < 0 || addr >= len(f.words) || bit < 0 || bit >= f.width {
+		return fmt.Errorf("bist: fault site (%d,%d) out of range", addr, bit)
+	}
+	if one {
+		f.stuck1[addr] |= 1 << uint(bit)
+	} else {
+		f.stuck0[addr] |= 1 << uint(bit)
+	}
+	return nil
+}
+
+// Write stores data (fault effects apply on read, as in a real cell).
+func (f *FaultyRAM) Write(addr int, data uint64) {
+	f.words[addr] = data & wordMask(f.width)
+}
+
+// Read returns the stored word with stuck bits forced.
+func (f *FaultyRAM) Read(addr int) uint64 {
+	v := f.words[addr]
+	v &^= f.stuck0[addr]
+	v |= f.stuck1[addr]
+	return v & wordMask(f.width)
+}
+
+// RepairableRAM wraps a RAM with spare rows (the paper's BIST-with-repair
+// for caches): after a BIST run, faulty rows are remapped to spares.
+type RepairableRAM struct {
+	RAM
+	spareOf map[int]int
+	spares  []uint64
+	used    int
+}
+
+// NewRepairable wraps m with nSpares spare rows.
+func NewRepairable(m RAM, nSpares int) *RepairableRAM {
+	return &RepairableRAM{RAM: m, spareOf: map[int]int{}, spares: make([]uint64, nSpares)}
+}
+
+// Repair runs BIST and maps faulty rows to spares; it reports whether the
+// array is fully repaired (all faulty rows covered).
+func (r *RepairableRAM) Repair() (Result, bool) {
+	res := MarchCMinus(r.RAM)
+	for _, row := range res.FaultyRows {
+		if r.used >= len(r.spares) {
+			return res, false
+		}
+		r.spareOf[row] = r.used
+		r.used++
+	}
+	return res, true
+}
+
+// Write routes repaired rows to their spares.
+func (r *RepairableRAM) Write(addr int, data uint64) {
+	if sp, ok := r.spareOf[addr]; ok {
+		r.spares[sp] = data & wordMask(r.Width())
+		return
+	}
+	r.RAM.Write(addr, data)
+}
+
+// Read routes repaired rows to their spares.
+func (r *RepairableRAM) Read(addr int) uint64 {
+	if sp, ok := r.spareOf[addr]; ok {
+		return r.spares[sp]
+	}
+	return r.RAM.Read(addr)
+}

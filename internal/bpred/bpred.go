@@ -1,0 +1,233 @@
+// Package bpred implements the branch prediction substrate of Table 1: an
+// 8KB hybrid predictor (bimodal + gshare with a chooser), a 1KB 4-way BTB,
+// and a return-address stack. Faults in these structures are chipkill in
+// the paper's model; as the extension the paper's related work suggests,
+// the BTB can optionally be wrapped in a self-healing array (Bower et al.)
+// so defective entries degrade capacity instead of killing the core.
+package bpred
+
+import "rescue/internal/selfheal"
+
+// Config sizes the predictor.
+type Config struct {
+	BimodalEntries int // 2-bit counters
+	GshareEntries  int // 2-bit counters
+	ChooserEntries int // 2-bit chooser counters
+	HistoryBits    int
+	BTBSets        int
+	BTBWays        int
+	RASEntries     int
+}
+
+// Default returns the paper's 8KB hybrid predictor with a 1KB 4-way BTB.
+// 8KB of 2-bit counters across three tables ~ 10K+10K+12K counters; we use
+// power-of-two sizes: 8K bimodal + 16K gshare + 8K chooser = 8KB total.
+func Default() Config {
+	return Config{
+		BimodalEntries: 8192,
+		GshareEntries:  16384,
+		ChooserEntries: 8192,
+		HistoryBits:    14,
+		BTBSets:        64, // 64 sets * 4 ways * ~4B entry = 1KB
+		BTBWays:        4,
+		RASEntries:     16,
+	}
+}
+
+// Predictor is a hybrid direction predictor plus BTB and RAS.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8
+	gshare  []uint8
+	chooser []uint8 // 0..1 -> bimodal, 2..3 -> gshare
+	history uint64
+
+	btbTag [][]uint64
+	btbTgt [][]uint64
+	btbLRU [][]uint8
+	// btbHeal, when non-nil, guards BTB entries: unusable entries always
+	// miss and are never allocated (self-healing array extension).
+	btbHeal *selfheal.Array
+
+	ras    []uint64
+	rasTop int
+
+	// Stats
+	Lookups, Hits int64
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]uint8, cfg.BimodalEntries),
+		gshare:  make([]uint8, cfg.GshareEntries),
+		chooser: make([]uint8, cfg.ChooserEntries),
+		ras:     make([]uint64, cfg.RASEntries),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1 // weakly not-taken
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 2 // weakly prefer gshare
+	}
+	p.btbTag = make([][]uint64, cfg.BTBSets)
+	p.btbTgt = make([][]uint64, cfg.BTBSets)
+	p.btbLRU = make([][]uint8, cfg.BTBSets)
+	for s := range p.btbTag {
+		p.btbTag[s] = make([]uint64, cfg.BTBWays)
+		p.btbTgt[s] = make([]uint64, cfg.BTBWays)
+		p.btbLRU[s] = make([]uint8, cfg.BTBWays)
+	}
+	return p
+}
+
+func (p *Predictor) bimodalIdx(pc uint64) int {
+	return int((pc >> 3) % uint64(len(p.bimodal)))
+}
+
+func (p *Predictor) gshareIdx(pc uint64) int {
+	h := p.history & ((1 << uint(p.cfg.HistoryBits)) - 1)
+	return int(((pc >> 3) ^ h) % uint64(len(p.gshare)))
+}
+
+func (p *Predictor) chooserIdx(pc uint64) int {
+	return int((pc >> 3) % uint64(len(p.chooser)))
+}
+
+// PredictDirection returns the predicted taken/not-taken for a branch.
+func (p *Predictor) PredictDirection(pc uint64) bool {
+	p.Lookups++
+	if p.chooser[p.chooserIdx(pc)] >= 2 {
+		return p.gshare[p.gshareIdx(pc)] >= 2
+	}
+	return p.bimodal[p.bimodalIdx(pc)] >= 2
+}
+
+// EnableSelfHeal wraps the BTB in a self-healing array with the given
+// fraction of defective entries and spare entries (deterministic per seed).
+func (p *Predictor) EnableSelfHeal(faultFrac float64, spares int, seed int64) error {
+	a, err := selfheal.New(p.cfg.BTBSets*p.cfg.BTBWays, spares)
+	if err != nil {
+		return err
+	}
+	a.InjectRandom(faultFrac, seed)
+	p.btbHeal = a
+	return nil
+}
+
+// btbUsable reports whether a BTB entry may be read or allocated.
+func (p *Predictor) btbUsable(set, way int) bool {
+	if p.btbHeal == nil {
+		return true
+	}
+	return p.btbHeal.Usable(set*p.cfg.BTBWays + way)
+}
+
+// PredictTarget consults the BTB; ok reports a hit.
+func (p *Predictor) PredictTarget(pc uint64) (target uint64, ok bool) {
+	set := int((pc >> 3) % uint64(p.cfg.BTBSets))
+	for w := 0; w < p.cfg.BTBWays; w++ {
+		if !p.btbUsable(set, w) {
+			continue
+		}
+		if p.btbTag[set][w] == pc && p.btbTgt[set][w] != 0 {
+			p.btbLRU[set][w] = 0
+			for o := 0; o < p.cfg.BTBWays; o++ {
+				if o != w && p.btbLRU[set][o] < 255 {
+					p.btbLRU[set][o]++
+				}
+			}
+			return p.btbTgt[set][w], true
+		}
+	}
+	return 0, false
+}
+
+// Update trains the tables with the branch outcome.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	bi, gi, ci := p.bimodalIdx(pc), p.gshareIdx(pc), p.chooserIdx(pc)
+	bPred := p.bimodal[bi] >= 2
+	gPred := p.gshare[gi] >= 2
+	// chooser: move toward the component that was right
+	if bPred != gPred {
+		if gPred == taken {
+			if p.chooser[ci] < 3 {
+				p.chooser[ci]++
+			}
+		} else {
+			if p.chooser[ci] > 0 {
+				p.chooser[ci]--
+			}
+		}
+	}
+	sat := func(c *uint8, up bool) {
+		if up && *c < 3 {
+			*c++
+		}
+		if !up && *c > 0 {
+			*c--
+		}
+	}
+	sat(&p.bimodal[bi], taken)
+	sat(&p.gshare[gi], taken)
+	p.history = p.history<<1 | b2u(taken)
+	if (bPred == taken && p.chooser[ci] < 2) || (gPred == taken && p.chooser[ci] >= 2) {
+		p.Hits++
+	}
+	if taken {
+		set := int((pc >> 3) % uint64(p.cfg.BTBSets))
+		// hit update or LRU replace
+		victim, worst, hit := -1, uint8(0), false
+		for w := 0; w < p.cfg.BTBWays; w++ {
+			if !p.btbUsable(set, w) {
+				continue // never allocate into a defective entry
+			}
+			if p.btbTag[set][w] == pc && p.btbTgt[set][w] != 0 {
+				victim, hit = w, true
+				break
+			}
+			if victim < 0 || p.btbLRU[set][w] >= worst {
+				worst = p.btbLRU[set][w]
+				victim = w
+			}
+		}
+		_ = hit
+		if victim < 0 {
+			return // whole set defective: degrade, don't allocate
+		}
+		p.btbTag[set][victim] = pc
+		p.btbTgt[set][victim] = target
+		p.btbLRU[set][victim] = 0
+		for w := 0; w < p.cfg.BTBWays; w++ {
+			if w != victim && p.btbLRU[set][w] < 255 {
+				p.btbLRU[set][w]++ // age the rest so insertions spread
+			}
+		}
+	}
+}
+
+// Push records a call on the return-address stack.
+func (p *Predictor) Push(retAddr uint64) {
+	p.ras[p.rasTop%len(p.ras)] = retAddr
+	p.rasTop++
+}
+
+// Pop predicts a return target.
+func (p *Predictor) Pop() (uint64, bool) {
+	if p.rasTop == 0 {
+		return 0, false
+	}
+	p.rasTop--
+	return p.ras[p.rasTop%len(p.ras)], true
+}
+
+func b2u(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}

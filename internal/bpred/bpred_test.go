@@ -1,0 +1,112 @@
+package bpred
+
+import "testing"
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := New(Default())
+	pc := uint64(0x4000)
+	for i := 0; i < 50; i++ {
+		p.Update(pc, true, pc+64)
+	}
+	if !p.PredictDirection(pc) {
+		t.Fatal("always-taken branch predicted not-taken after training")
+	}
+	for i := 0; i < 50; i++ {
+		p.Update(pc, false, 0)
+	}
+	if p.PredictDirection(pc) {
+		t.Fatal("always-not-taken branch predicted taken after retraining")
+	}
+}
+
+func TestGshareLearnsAlternating(t *testing.T) {
+	p := New(Default())
+	pc := uint64(0x8000)
+	// alternating pattern is history-predictable; train then measure
+	taken := false
+	for i := 0; i < 500; i++ {
+		p.Update(pc, taken, pc+64)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if p.PredictDirection(pc) == taken {
+			correct++
+		}
+		p.Update(pc, taken, pc+64)
+		taken = !taken
+	}
+	if correct < 90 {
+		t.Fatalf("alternating pattern: %d/100 correct, want >=90", correct)
+	}
+}
+
+func TestBTBHitAfterTraining(t *testing.T) {
+	p := New(Default())
+	pc := uint64(0x1000)
+	target := uint64(0x2000)
+	if _, ok := p.PredictTarget(pc); ok {
+		t.Fatal("cold BTB should miss")
+	}
+	p.Update(pc, true, target)
+	got, ok := p.PredictTarget(pc)
+	if !ok || got != target {
+		t.Fatalf("BTB = %x, %v; want %x hit", got, ok, target)
+	}
+}
+
+func TestBTBReplacement(t *testing.T) {
+	cfg := Default()
+	p := New(cfg)
+	// fill one set beyond associativity: addresses mapping to set 0
+	stride := uint64(cfg.BTBSets * 8)
+	for i := 0; i < cfg.BTBWays+2; i++ {
+		pc := uint64(i) * stride
+		p.Update(pc, true, pc+8)
+	}
+	// most recent insertions must still hit
+	for i := 2; i < cfg.BTBWays+2; i++ {
+		pc := uint64(i) * stride
+		if _, ok := p.PredictTarget(pc); !ok {
+			t.Fatalf("recently inserted pc %x evicted", pc)
+		}
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(Default())
+	if _, ok := p.Pop(); ok {
+		t.Fatal("empty RAS must miss")
+	}
+	p.Push(0x100)
+	p.Push(0x200)
+	if v, ok := p.Pop(); !ok || v != 0x200 {
+		t.Fatalf("pop = %x, %v", v, ok)
+	}
+	if v, ok := p.Pop(); !ok || v != 0x100 {
+		t.Fatalf("pop = %x, %v", v, ok)
+	}
+}
+
+func TestChooserPrefersBetterComponent(t *testing.T) {
+	p := New(Default())
+	pc := uint64(0xc0)
+	// alternating: gshare can track it, bimodal cannot; chooser should
+	// migrate to gshare and overall accuracy should be high
+	taken := false
+	for i := 0; i < 2000; i++ {
+		p.Update(pc, taken, pc+64)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		if p.PredictDirection(pc) == taken {
+			correct++
+		}
+		p.Update(pc, taken, pc+64)
+		taken = !taken
+	}
+	if correct < 180 {
+		t.Fatalf("hybrid accuracy %d/200 on alternating pattern", correct)
+	}
+}

@@ -1,0 +1,88 @@
+package bpred
+
+import "testing"
+
+func TestSelfHealBTBDegradesGracefully(t *testing.T) {
+	// pristine, lightly damaged, heavily damaged: hit rate must degrade
+	// monotonically-ish but never crash or corrupt
+	hitRate := func(frac float64) float64 {
+		p := New(Default())
+		if frac > 0 {
+			if err := p.EnableSelfHeal(frac, 0, 42); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// train 180 branches (fits the 256-entry BTB) then measure
+		hits := 0
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 180; i++ {
+				pc := uint64(0x1000 + i*8)
+				if round == 3 {
+					if _, ok := p.PredictTarget(pc); ok {
+						hits++
+					}
+				}
+				p.Update(pc, true, pc+128)
+			}
+		}
+		return float64(hits) / 180
+	}
+	clean := hitRate(0)
+	light := hitRate(0.1)
+	heavy := hitRate(0.8)
+	if clean < 0.9 {
+		t.Fatalf("clean hit rate %.2f too low", clean)
+	}
+	if light > clean+0.01 {
+		t.Fatalf("damaged BTB outperforms clean: %.2f vs %.2f", light, clean)
+	}
+	if heavy > light+0.01 {
+		t.Fatalf("heavier damage should not help: %.2f vs %.2f", heavy, light)
+	}
+	if heavy > 0.6 {
+		t.Fatalf("80%% damaged BTB hit rate %.2f implausibly high", heavy)
+	}
+}
+
+func TestSelfHealSparesRecoverHitRate(t *testing.T) {
+	cfg := Default()
+	run := func(spares int) float64 {
+		p := New(cfg)
+		if err := p.EnableSelfHeal(0.3, spares, 5); err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 200; i++ {
+				pc := uint64(0x4000 + i*8)
+				if round == 3 {
+					if _, ok := p.PredictTarget(pc); ok {
+						hits++
+					}
+				}
+				p.Update(pc, true, pc+64)
+			}
+		}
+		return float64(hits) / 200
+	}
+	none := run(0)
+	full := run(cfg.BTBSets * cfg.BTBWays) // enough spares for everything
+	if full < none {
+		t.Fatalf("spares should not hurt: %.2f vs %.2f", full, none)
+	}
+}
+
+func TestSelfHealNeverPredictsFromDefectiveEntry(t *testing.T) {
+	p := New(Default())
+	// everything defective, no spares: BTB must never hit
+	if err := p.EnableSelfHeal(1.0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		pc := uint64(0x100 + i*8)
+		p.Update(pc, true, pc+64)
+		if _, ok := p.PredictTarget(pc); ok {
+			t.Fatal("hit from a fully defective BTB")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config {
+	return Config{SizeBytes: 1024, Assoc: 2, BlockSize: 32, Latency: 2}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(small())
+	if c.Access(0x100) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x11f) {
+		t.Fatal("same block must hit")
+	}
+	if c.Access(0x120) {
+		t.Fatal("next block must miss")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(small()) // 16 sets, 2 ways
+	setStride := uint64(16 * 32)
+	a, b, d := uint64(0), setStride*1, setStride*2 // all map to set 0... no:
+	// addresses in the same set: differ by sets*blocksize
+	a, b, d = 0, 16*32, 2*16*32
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is MRU
+	c.Access(d) // evicts b (LRU)
+	if !c.Access(a) {
+		t.Fatal("a should survive")
+	}
+	if c.Access(b) {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestMissRateAccounting(t *testing.T) {
+	c := New(small())
+	for i := 0; i < 8; i++ {
+		c.Access(uint64(i) * 32 * 16 * 4) // all misses (distinct far blocks)
+	}
+	if c.MissRate() != 1 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestWorkingSetFitsHasNoSteadyMisses(t *testing.T) {
+	c := New(Config{SizeBytes: 64 << 10, Assoc: 2, BlockSize: 32, Latency: 2})
+	// 8KB working set walked many times: after warmup, zero misses
+	warm := func() int64 {
+		before := c.Misses
+		for a := uint64(0); a < 8<<10; a += 8 {
+			c.Access(a)
+		}
+		return c.Misses - before
+	}
+	warm()
+	if m := warm(); m != 0 {
+		t.Fatalf("steady-state misses = %d", m)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	lat, l1 := h.LoadLatency(0x1000)
+	if l1 || lat != 2+15+250 {
+		t.Fatalf("cold load: lat=%d l1=%v", lat, l1)
+	}
+	lat, l1 = h.LoadLatency(0x1000)
+	if !l1 || lat != 2 {
+		t.Fatalf("warm load: lat=%d l1=%v", lat, l1)
+	}
+	if got := h.FetchLatency(0x1000); got != 2+15 {
+		// the L2 line was allocated by the load; I-fetch misses L1I only
+		t.Fatalf("fetch after load warmed L2: %d", got)
+	}
+}
+
+func TestAccessAlwaysAllocates(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		c := New(small())
+		for _, a := range addrs {
+			c.Access(a)
+			if !c.Access(a) {
+				return false // immediately re-accessing must hit
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

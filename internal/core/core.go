@@ -1,0 +1,116 @@
+// Package core assembles the Rescue system end to end — the paper's full
+// flow in one API:
+//
+//	build the gate-level design (baseline or Rescue)      internal/rtl
+//	insert scan                                            internal/scan
+//	audit intra-cycle logic independence                   internal/ici
+//	generate tests (ATPG)                                  internal/atpg
+//	simulate faults, isolate to super-components           internal/fault
+//	map out faulty components                              fault-map register
+//	run degraded-mode performance simulation               internal/uarch
+//	compute yield-adjusted throughput                      internal/yield
+package core
+
+import (
+	"fmt"
+
+	"rescue/internal/atpg"
+	"rescue/internal/fault"
+	"rescue/internal/ici"
+	"rescue/internal/rtl"
+	"rescue/internal/scan"
+	"rescue/internal/uarch"
+)
+
+// System is a built design with its scan chain and ICI audit.
+type System struct {
+	Design *rtl.Design
+	Chain  *scan.Chain
+	Audit  *ici.AuditResult
+}
+
+// Build constructs a system: netlist, scan insertion, ICI audit. The
+// baseline variant builds successfully but its audit reports violations —
+// that is the paper's point, not an error.
+func Build(cfg rtl.Config, v rtl.Variant) (*System, error) {
+	d, err := rtl.Build(cfg, v)
+	if err != nil {
+		return nil, err
+	}
+	c, err := scan.Insert(d.N, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Design: d, Chain: c, Audit: ici.Audit(d.N, d.Grouping)}, nil
+}
+
+// TestProgram is a generated scan-test set with its Table 3 bookkeeping.
+type TestProgram struct {
+	Universe *fault.Universe
+	Gen      *atpg.GenResult
+}
+
+// GenerateTests runs the ATPG flow (random phase + PODEM) on the system.
+func (s *System) GenerateTests(cfg atpg.GenConfig) *TestProgram {
+	u := fault.NewUniverse(s.Design.N)
+	return &TestProgram{Universe: u, Gen: atpg.Generate(s.Chain, u, cfg)}
+}
+
+// ScanSummary is one design's row of the paper's Table 3.
+type ScanSummary struct {
+	Variant    string
+	Faults     int // uncollapsed fault universe
+	ScanCells  int
+	Vectors    int
+	Cycles     int
+	Coverage   float64
+	Untestable int
+	Aborted    int
+}
+
+// Summary extracts the Table 3 row.
+func (s *System) Summary(tp *TestProgram) ScanSummary {
+	return ScanSummary{
+		Variant:    s.Design.Variant.String(),
+		Faults:     tp.Gen.Faults,
+		ScanCells:  tp.Gen.ScanCells,
+		Vectors:    tp.Gen.Vectors,
+		Cycles:     tp.Gen.Cycles,
+		Coverage:   tp.Gen.Coverage,
+		Untestable: tp.Gen.Untestable,
+		Aborted:    tp.Gen.Aborted,
+	}
+}
+
+// MapOut converts a set of isolated faulty super-components into a
+// degraded configuration for the performance model — the fault-map
+// register's contents. It returns an error when the component set leaves
+// no working configuration (chipkill, or both members of a pair down).
+func MapOut(supers []string) (uarch.Degraded, error) {
+	var d uarch.Degraded
+	seen := map[string]bool{}
+	for _, s := range supers {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		switch s {
+		case "FE0", "FE1":
+			d.FEGroupsDisabled++
+		case "BE0", "BE1":
+			d.IntGroupsDisabled++ // the netlist models the int backend
+		case "IQ0", "IQ1":
+			d.IntIQHalvesDown++
+		case "LSQ0", "LSQ1":
+			d.LSQHalvesDown++
+		case "CHIPKILL":
+			return d, fmt.Errorf("core: fault in chipkill logic — core unusable")
+		default:
+			return d, fmt.Errorf("core: unknown super-component %q", s)
+		}
+	}
+	if d.Dead() {
+		return d, fmt.Errorf("core: degraded configuration %v is dead", d)
+	}
+	return d, nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rescue/internal/area"
+	"rescue/internal/uarch"
+	"rescue/internal/workload"
+	"rescue/internal/yield"
+)
+
+// NodeScale carries the Section 5 technology-scaling knobs: each halving of
+// device area multiplies memory latency by 1.5 and adds 2 cycles to the
+// branch misprediction penalty.
+type NodeScale struct {
+	MemLatencyScale float64
+	ExtraMispred    int
+}
+
+// ScaleFor computes the scaling knobs for a node.
+func ScaleFor(node area.Scaling) NodeScale {
+	return NodeScale{
+		MemLatencyScale: math.Pow(1.5, node.Halvings),
+		ExtraMispred:    int(math.Round(2 * node.Halvings)),
+	}
+}
+
+func (ns NodeScale) apply(p uarch.Params) uarch.Params {
+	p.MemLatencyScale = ns.MemLatencyScale
+	p.FrontendDepth += ns.ExtraMispred
+	return p
+}
+
+// IPCRow is one bar pair of Figure 8.
+type IPCRow struct {
+	Benchmark      string
+	Baseline       float64
+	Rescue         float64
+	DegradationPct float64
+}
+
+// runIPC simulates one configuration of one benchmark.
+func runIPC(p uarch.Params, prof workload.Profile, warmup, commit int64) (float64, error) {
+	s, err := uarch.New(p, prof)
+	if err != nil {
+		return 0, err
+	}
+	return s.Run(warmup, commit).IPC(), nil
+}
+
+// parallelMap runs jobs across CPUs.
+func parallelMap(n int, f func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// IPCStudy reproduces Figure 8: fault-free baseline vs. Rescue IPC for the
+// given benchmarks (nil = all 23).
+func IPCStudy(benchNames []string, warmup, commit int64) ([]IPCRow, error) {
+	profs, err := resolve(benchNames)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]IPCRow, len(profs))
+	var firstErr error
+	var mu sync.Mutex
+	parallelMap(len(profs), func(i int) {
+		base, err1 := runIPC(uarch.DefaultParams(), profs[i], warmup, commit)
+		resc, err2 := runIPC(uarch.RescueParams(), profs[i], warmup, commit)
+		mu.Lock()
+		defer mu.Unlock()
+		if err1 != nil && firstErr == nil {
+			firstErr = err1
+		}
+		if err2 != nil && firstErr == nil {
+			firstErr = err2
+		}
+		rows[i] = IPCRow{
+			Benchmark: profs[i].Name,
+			Baseline:  base,
+			Rescue:    resc,
+		}
+		if base > 0 {
+			rows[i].DegradationPct = (1 - resc/base) * 100
+		}
+	})
+	return rows, firstErr
+}
+
+func resolve(names []string) ([]workload.Profile, error) {
+	if names == nil {
+		return workload.Benchmarks(), nil
+	}
+	var out []workload.Profile
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PerfModel holds, for one technology node, the per-benchmark baseline IPC
+// and the Rescue IPC of every live degraded configuration — the inputs EQ 3
+// needs.
+type PerfModel struct {
+	Node     area.Scaling
+	Baseline map[string]float64
+	Rescue   map[string]map[yield.CoreConfig]float64
+}
+
+// toDegraded converts a yield configuration into simulator knobs.
+func toDegraded(c yield.CoreConfig) uarch.Degraded {
+	return uarch.Degraded{
+		FEGroupsDisabled:  c.FEDown,
+		IntGroupsDisabled: c.IntBEDown,
+		FPGroupsDisabled:  c.FPBEDown,
+		IntIQHalvesDown:   c.IntIQDown,
+		FPIQHalvesDown:    c.FPIQDown,
+		LSQHalvesDown:     c.LSQDown,
+	}
+}
+
+// BuildPerfModel simulates every (benchmark, degraded configuration) pair
+// at a node. This is the expensive step of Figure 9; warmup/commit control
+// the accuracy/runtime trade.
+func BuildPerfModel(node area.Scaling, benchNames []string, warmup, commit int64) (*PerfModel, error) {
+	profs, err := resolve(benchNames)
+	if err != nil {
+		return nil, err
+	}
+	ns := ScaleFor(node)
+	cfgs := yield.Configs()
+	pm := &PerfModel{
+		Node:     node,
+		Baseline: map[string]float64{},
+		Rescue:   map[string]map[yield.CoreConfig]float64{},
+	}
+	type job struct {
+		bench int
+		cfg   int // -1 = baseline
+	}
+	var jobs []job
+	for b := range profs {
+		jobs = append(jobs, job{b, -1})
+		for c := range cfgs {
+			jobs = append(jobs, job{b, c})
+		}
+	}
+	results := make([]float64, len(jobs))
+	errs := make([]error, len(jobs))
+	parallelMap(len(jobs), func(i int) {
+		j := jobs[i]
+		var p uarch.Params
+		if j.cfg < 0 {
+			p = ns.apply(uarch.DefaultParams())
+		} else {
+			p = ns.apply(uarch.RescueParams())
+			p.Degr = toDegraded(cfgs[j.cfg])
+		}
+		results[i], errs[i] = runIPC(p, profs[j.bench], warmup, commit)
+	})
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		name := profs[j.bench].Name
+		if j.cfg < 0 {
+			pm.Baseline[name] = results[i]
+		} else {
+			if pm.Rescue[name] == nil {
+				pm.Rescue[name] = map[yield.CoreConfig]float64{}
+			}
+			pm.Rescue[name][cfgs[j.cfg]] = results[i]
+		}
+	}
+	return pm, nil
+}
+
+// YATRow is one bar group of Figure 9: a (node, growth) scenario averaged
+// across benchmarks. Relative values are normalized per benchmark by the
+// ideal (100% yield, no degradation) chip YAT.
+type YATRow struct {
+	StagnateNM, NodeNM int
+	Growth             float64
+	Cores              int
+	RelNone            float64
+	RelCS              float64
+	RelRescue          float64
+	// RescueOverCSPct is the headline: (Rescue/CS − 1) × 100.
+	RescueOverCSPct float64
+}
+
+// YATStudy reproduces one panel of Figure 9 for the given PWP-stagnation
+// node, using per-node performance models (one per plotted node).
+func YATStudy(stagnate area.Scaling, models map[int]*PerfModel) ([]YATRow, error) {
+	var rows []YATRow
+	baseArea := area.BaselineWithScan()
+	rescArea := area.Rescue()
+	for _, node := range area.Nodes() {
+		pm, ok := models[node.NodeNM]
+		if !ok {
+			return nil, fmt.Errorf("core: no performance model for %dnm", node.NodeNM)
+		}
+		for _, g := range area.GrowthRates() {
+			var sumNone, sumCS, sumRescue float64
+			var count int
+			var cores int
+			for bench, full := range pm.Baseline {
+				baseCM := yield.CoreModel{Area: baseArea, Full: full}
+				rescCM := yield.CoreModel{
+					Area: rescArea,
+					Full: pm.Rescue[bench][yield.CoreConfig{}],
+					IPC:  pm.Rescue[bench],
+				}
+				r := yield.Chip(node, stagnate, g, baseCM, rescCM)
+				cores = r.Cores
+				sumNone += r.NoRedundancy / r.Ideal
+				sumCS += r.CoreSparing / r.Ideal
+				sumRescue += r.Rescue / r.Ideal
+				count++
+			}
+			row := YATRow{
+				StagnateNM: stagnate.NodeNM,
+				NodeNM:     node.NodeNM,
+				Growth:     g,
+				Cores:      cores,
+				RelNone:    sumNone / float64(count),
+				RelCS:      sumCS / float64(count),
+				RelRescue:  sumRescue / float64(count),
+			}
+			if row.RelCS > 0 {
+				row.RescueOverCSPct = (row.RelRescue/row.RelCS - 1) * 100
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

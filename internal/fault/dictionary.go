@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Dictionary is a precomputed fault dictionary: for every collapsed fault,
+// the set of observation points that fail under the generated test
+// program. Real test floors use dictionaries to diagnose returned parts
+// without re-simulation; here it also serves as a complete machine-checkable
+// record that every fault's syndrome stays inside one super-component.
+type Dictionary struct {
+	// Syndromes[i] lists the failing observation points of Collapsed[i]
+	// (empty = fault undetected by the program).
+	Syndromes [][]int
+}
+
+// BuildDictionary simulates every collapsed fault against the pattern set.
+// This is the expensive, exhaustive version of the per-fault isolation
+// flow; cost is proportional to faults × affected cones.
+func BuildDictionary(sim *Sim, u *Universe) *Dictionary {
+	d := &Dictionary{Syndromes: make([][]int, len(u.Collapsed))}
+	for i, f := range u.Collapsed {
+		res := sim.Run(f, 0)
+		obs := append([]int(nil), res.FailObs...)
+		sort.Ints(obs)
+		d.Syndromes[i] = obs
+	}
+	return d
+}
+
+// Detected reports how many faults the dictionary's program detects.
+func (d *Dictionary) Detected() int {
+	n := 0
+	for _, s := range d.Syndromes {
+		if len(s) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Lookup finds the faults whose syndrome is a superset of the observed
+// failing bits — the diagnosis candidates for a returned part. Bits are
+// matched as sets (tester bit order does not matter).
+func (d *Dictionary) Lookup(failObs []int) []int {
+	want := map[int]bool{}
+	for _, o := range failObs {
+		want[o] = true
+	}
+	var out []int
+	for i, syn := range d.Syndromes {
+		if len(syn) == 0 || len(syn) < len(want) {
+			continue
+		}
+		have := map[int]bool{}
+		for _, o := range syn {
+			have[o] = true
+		}
+		all := true
+		for o := range want {
+			if !have[o] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WriteCSV serializes the dictionary as "faultIndex,obs;obs;..." lines.
+func (d *Dictionary) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, syn := range d.Syndromes {
+		parts := make([]string, len(syn))
+		for j, o := range syn {
+			parts[j] = fmt.Sprintf("%d", o)
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", i, strings.Join(parts, ";")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dictionary written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dictionary, error) {
+	d := &Dictionary{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" {
+			continue
+		}
+		idxPart, synPart, ok := strings.Cut(txt, ",")
+		if !ok {
+			return nil, fmt.Errorf("fault: dictionary line %d: no comma", line)
+		}
+		var idx int
+		if _, err := fmt.Sscanf(idxPart, "%d", &idx); err != nil {
+			return nil, fmt.Errorf("fault: dictionary line %d: %v", line, err)
+		}
+		if idx != len(d.Syndromes) {
+			return nil, fmt.Errorf("fault: dictionary line %d: index %d out of order", line, idx)
+		}
+		var syn []int
+		if synPart != "" {
+			for _, p := range strings.Split(synPart, ";") {
+				var o int
+				if _, err := fmt.Sscanf(p, "%d", &o); err != nil {
+					return nil, fmt.Errorf("fault: dictionary line %d: %v", line, err)
+				}
+				syn = append(syn, o)
+			}
+		}
+		d.Syndromes = append(d.Syndromes, syn)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,98 @@
+// Package fault implements the single-stuck-at fault model used throughout
+// the Rescue paper: fault universe enumeration, structural equivalence
+// collapsing, and a cone-restricted, pattern-parallel fault simulator that
+// reports exactly which scan-chain bits fail for a given fault — the raw
+// material of the paper's fault-isolation procedure (Section 6.1).
+package fault
+
+import (
+	"rescue/internal/netlist"
+)
+
+// Universe is the collapsed single-stuck-at fault list of a netlist.
+type Universe struct {
+	N *netlist.Netlist
+	// All is the uncollapsed list (the count Table 3 reports as "faults").
+	All []netlist.Fault
+	// Collapsed holds one representative per structural equivalence class.
+	Collapsed []netlist.Fault
+	// classOf maps an index into All to its representative index in
+	// Collapsed.
+	classOf []int
+}
+
+// NewUniverse enumerates and collapses the fault universe of n.
+//
+// Collapsing uses the classic local gate-level equivalences:
+//
+//	AND:  input sa0 == output sa0      NAND: input sa0 == output sa1
+//	OR:   input sa1 == output sa1      NOR:  input sa1 == output sa0
+//	NOT:  input sa0 == output sa1, input sa1 == output sa0
+//	BUF:  input saX == output saX
+//
+// Gate-output representatives are kept. MUX2 and XOR/XNOR inputs collapse to
+// nothing (all their faults are distinct), matching standard ATPG practice.
+func NewUniverse(n *netlist.Netlist) *Universe {
+	u := &Universe{N: n, All: n.AllFaultSites()}
+	u.classOf = make([]int, len(u.All))
+
+	// index of each gate-output fault within Collapsed, filled as we go
+	type outKey struct {
+		gate netlist.GateID
+		sa1  bool
+	}
+	outRep := map[outKey]int{}
+	addRep := func(f netlist.Fault) int {
+		u.Collapsed = append(u.Collapsed, f)
+		return len(u.Collapsed) - 1
+	}
+	// First pass: register all gate-output and FF faults as representatives.
+	for i, f := range u.All {
+		if f.Gate >= 0 && f.Pin < 0 {
+			idx := addRep(f)
+			outRep[outKey{f.Gate, f.StuckAt1}] = idx
+			u.classOf[i] = idx
+		} else if f.Gate < 0 {
+			u.classOf[i] = addRep(f)
+		}
+	}
+	// Second pass: map input-pin faults to an output representative when a
+	// local equivalence applies; otherwise they are their own class.
+	for i, f := range u.All {
+		if f.Gate < 0 || f.Pin < 0 {
+			continue
+		}
+		kind := u.N.Gates[f.Gate].Kind
+		var eq bool
+		var outSA1 bool
+		switch kind {
+		case netlist.And:
+			eq, outSA1 = !f.StuckAt1, false
+		case netlist.Or:
+			eq, outSA1 = f.StuckAt1, true
+		case netlist.Nand:
+			eq, outSA1 = !f.StuckAt1, true
+		case netlist.Nor:
+			eq, outSA1 = f.StuckAt1, false
+		case netlist.Not:
+			eq, outSA1 = true, !f.StuckAt1
+		case netlist.Buf:
+			eq, outSA1 = true, f.StuckAt1
+		}
+		if eq {
+			u.classOf[i] = outRep[outKey{f.Gate, outSA1}]
+		} else {
+			u.classOf[i] = addRep(f)
+		}
+	}
+	return u
+}
+
+// ClassOf returns the representative (index into Collapsed) of All[i].
+func (u *Universe) ClassOf(i int) int { return u.classOf[i] }
+
+// CountAll reports the uncollapsed fault count.
+func (u *Universe) CountAll() int { return len(u.All) }
+
+// CountCollapsed reports the collapsed fault count.
+func (u *Universe) CountCollapsed() int { return len(u.Collapsed) }

@@ -1,0 +1,355 @@
+package fault
+
+import (
+	"rescue/internal/netlist"
+	"rescue/internal/scan"
+)
+
+// FailBit records one failing observation: pattern word w, lane l within
+// the word, observation point index obs (netlist.ObsPoints order: FF scan
+// bits first, then primary outputs).
+type FailBit struct {
+	Word, Lane, Obs int
+}
+
+// Result is the outcome of simulating one fault against a pattern set.
+type Result struct {
+	Detected bool
+	// Fails lists failing bits, at most the maxFail cap passed to Run
+	// (0 = unlimited). Isolation needs every distinct failing obs point,
+	// detection needs only one.
+	Fails []FailBit
+	// FailObs is the deduplicated set of failing observation points.
+	FailObs []int
+}
+
+// Sim is a fault simulator bound to a netlist, a scan chain, and a growable
+// pattern set. Good-machine responses and full good-machine net images are
+// precomputed per pattern word; each fault is then simulated event-driven —
+// only gates the fault effect actually reaches are re-evaluated, so the
+// cost per (fault, word) is proportional to the propagation region, which
+// is tiny whenever the pattern does not excite the fault.
+type Sim struct {
+	C        *scan.Chain
+	N        *netlist.Netlist
+	Patterns []*scan.Pattern
+
+	goodResp [][]uint64 // [word][obs]
+	goodNets [][]uint64 // [word][net] post-EvalComb values (pre-capture)
+
+	// static structure
+	level      []int32 // per-gate combinational level
+	maxLevel   int32
+	netReaders [][]netlist.GateID // per-net reading gates
+	obsOfNet   []int32            // per-net observation index or -1
+
+	// per-run scratch
+	scratch []uint64 // per-net faulty values (valid when epoch matches)
+	epoch   []int32
+	curEp   int32
+	buckets [][]netlist.GateID // event queue bucketed by level
+	schedEp []int32            // per-gate scheduled marker
+}
+
+// NewSim builds a simulator and precomputes good-machine behavior for the
+// given patterns (which may be nil; use AddPattern to grow the set).
+func NewSim(c *scan.Chain, patterns []*scan.Pattern) *Sim {
+	n := c.N
+	s := &Sim{C: c, N: n}
+	// levels
+	s.level = make([]int32, n.NumGates())
+	for _, gi := range n.TopoOrder() {
+		var lv int32
+		for _, in := range n.Gates[gi].In {
+			if d := n.DriverGate(in); d >= 0 {
+				if s.level[d]+1 > lv {
+					lv = s.level[d] + 1
+				}
+			}
+		}
+		s.level[gi] = lv
+		if lv > s.maxLevel {
+			s.maxLevel = lv
+		}
+	}
+	// per-net readers
+	s.netReaders = make([][]netlist.GateID, n.NumNets())
+	for gi := range n.Gates {
+		for _, in := range n.Gates[gi].In {
+			s.netReaders[in] = append(s.netReaders[in], netlist.GateID(gi))
+		}
+	}
+	// observation index per net
+	s.obsOfNet = make([]int32, n.NumNets())
+	for i := range s.obsOfNet {
+		s.obsOfNet[i] = -1
+	}
+	for fi := range n.FFs {
+		s.obsOfNet[n.FFs[fi].D] = int32(fi)
+	}
+	for oi, out := range n.Outputs {
+		s.obsOfNet[out] = int32(n.NumFFs() + oi)
+	}
+	s.scratch = make([]uint64, n.NumNets())
+	s.epoch = make([]int32, n.NumNets())
+	for i := range s.epoch {
+		s.epoch[i] = -1
+	}
+	s.buckets = make([][]netlist.GateID, s.maxLevel+1)
+	s.schedEp = make([]int32, n.NumGates())
+	for i := range s.schedEp {
+		s.schedEp[i] = -1
+	}
+	for _, p := range patterns {
+		s.AddPattern(p)
+	}
+	return s
+}
+
+// AddPattern appends a pattern word and precomputes its good-machine image.
+// Used by the ATPG generator, which grows the pattern set incrementally.
+func (s *Sim) AddPattern(p *scan.Pattern) {
+	st := s.N.NewState()
+	s.C.Load(st, p)
+	st.EvalComb(netlist.NoFault)
+	nets := make([]uint64, len(st.Vals))
+	copy(nets, st.Vals)
+	s.goodNets = append(s.goodNets, nets)
+	resp := make([]uint64, s.N.NumFFs()+len(s.N.Outputs))
+	for fi := 0; fi < s.N.NumFFs(); fi++ {
+		resp[fi] = st.Get(s.N.FFs[fi].D)
+	}
+	for oi, out := range s.N.Outputs {
+		resp[s.N.NumFFs()+oi] = st.Get(out)
+	}
+	s.goodResp = append(s.goodResp, resp)
+	s.Patterns = append(s.Patterns, p)
+}
+
+// GoodResponse returns the good-machine response words of pattern word w.
+func (s *Sim) GoodResponse(w int) []uint64 { return s.goodResp[w] }
+
+// Run simulates fault f against every pattern. If maxFail > 0, simulation
+// stops after collecting that many failing bits (fast detection mode);
+// isolation uses maxFail = 0 to gather every failing observation point.
+func (s *Sim) Run(f netlist.Fault, maxFail int) Result {
+	return s.run(f, maxFail, 0, len(s.Patterns))
+}
+
+// RunWord simulates fault f against pattern word w only — the ATPG
+// fault-dropping inner loop.
+func (s *Sim) RunWord(f netlist.Fault, w, maxFail int) Result {
+	return s.run(f, maxFail, w, w+1)
+}
+
+// schedule enqueues a gate for (re)evaluation in the current event pass.
+func (s *Sim) schedule(g netlist.GateID) {
+	if s.schedEp[g] == s.curEp {
+		return
+	}
+	s.schedEp[g] = s.curEp
+	lv := s.level[g]
+	s.buckets[lv] = append(s.buckets[lv], g)
+}
+
+func (s *Sim) run(f netlist.Fault, maxFail, wLo, wHi int) Result {
+	res := Result{}
+	obsSeen := map[int]bool{}
+
+	var stuckWord uint64
+	if f.StuckAt1 {
+		stuckWord = ^uint64(0)
+	}
+
+	for w := wLo; w < wHi; w++ {
+		mask := s.Patterns[w].LaneMask()
+		good := s.goodNets[w]
+
+		s.curEp++
+		for i := range s.buckets {
+			s.buckets[i] = s.buckets[i][:0]
+		}
+
+		// record a failing observation at net if it differs from good
+		observe := func(net netlist.NetID, faulty uint64) bool {
+			oi := s.obsOfNet[net]
+			if oi < 0 {
+				return false
+			}
+			diff := (faulty ^ s.goodResp[w][oi]) & mask
+			if diff == 0 {
+				return false
+			}
+			res.Detected = true
+			if !obsSeen[int(oi)] {
+				obsSeen[int(oi)] = true
+				res.FailObs = append(res.FailObs, int(oi))
+			}
+			for lane := 0; lane < 64 && diff != 0; lane++ {
+				if diff&(1<<uint(lane)) != 0 {
+					res.Fails = append(res.Fails, FailBit{Word: w, Lane: lane, Obs: int(oi)})
+					diff &^= 1 << uint(lane)
+					if maxFail > 0 && len(res.Fails) >= maxFail {
+						return true
+					}
+				}
+			}
+			return false
+		}
+
+		// seed events at the fault site
+		switch {
+		case f.Gate >= 0:
+			s.schedule(f.Gate)
+		case f.FF >= 0:
+			q := s.N.FFs[f.FF].Q
+			if (stuckWord^good[q])&mask != 0 {
+				s.scratch[q] = stuckWord
+				s.epoch[q] = s.curEp
+				for _, r := range s.netReaders[q] {
+					s.schedule(r)
+				}
+			}
+			// the faulty FF's own scan-out bit reads the stuck value
+			diff := (stuckWord ^ s.goodResp[w][f.FF]) & mask
+			if diff != 0 {
+				res.Detected = true
+				if !obsSeen[int(f.FF)] {
+					obsSeen[int(f.FF)] = true
+					res.FailObs = append(res.FailObs, int(f.FF))
+				}
+				for lane := 0; lane < 64 && diff != 0; lane++ {
+					if diff&(1<<uint(lane)) != 0 {
+						res.Fails = append(res.Fails, FailBit{Word: w, Lane: lane, Obs: int(f.FF)})
+						diff &^= 1 << uint(lane)
+						if maxFail > 0 && len(res.Fails) >= maxFail {
+							return res
+						}
+					}
+				}
+			}
+		}
+
+		// event-driven propagation in level order
+		stop := false
+		for lv := int32(0); lv <= s.maxLevel && !stop; lv++ {
+			for bi := 0; bi < len(s.buckets[lv]); bi++ {
+				gi := s.buckets[lv][bi]
+				g := &s.N.Gates[gi]
+				var buf [8]uint64
+				ins := buf[:0]
+				for _, in := range g.In {
+					if s.epoch[in] == s.curEp {
+						ins = append(ins, s.scratch[in])
+					} else {
+						ins = append(ins, good[in])
+					}
+				}
+				if f.Gate == gi && f.Pin >= 0 {
+					ins[f.Pin] = stuckWord
+				}
+				v := evalGate(g.Kind, ins)
+				if f.Gate == gi && f.Pin < 0 {
+					v = stuckWord
+				}
+				if (v^good[g.Out])&mask == 0 {
+					continue // effect died here
+				}
+				s.scratch[g.Out] = v
+				s.epoch[g.Out] = s.curEp
+				if observe(g.Out, v) {
+					stop = true
+					break
+				}
+				for _, r := range s.netReaders[g.Out] {
+					s.schedule(r)
+				}
+			}
+		}
+		if stop {
+			return res
+		}
+	}
+	return res
+}
+
+// DetectAll runs detection-only simulation for a list of faults and
+// returns a bitmap of which were detected by the pattern set.
+func (s *Sim) DetectAll(faults []netlist.Fault) []bool {
+	out := make([]bool, len(faults))
+	for i, f := range faults {
+		out[i] = s.Run(f, 1).Detected
+	}
+	return out
+}
+
+// Coverage reports the fraction of the given faults detected.
+func (s *Sim) Coverage(faults []netlist.Fault) float64 {
+	if len(faults) == 0 {
+		return 1
+	}
+	det := s.DetectAll(faults)
+	n := 0
+	for _, d := range det {
+		if d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(faults))
+}
+
+// evalGate mirrors netlist's gate semantics (duplicated to keep the hot
+// loop free of cross-package calls; netlist's own tests pin the truth
+// tables, and TestSimMatchesFullEval pins this copy against them).
+func evalGate(k netlist.GateKind, ins []uint64) uint64 {
+	switch k {
+	case netlist.And:
+		v := ^uint64(0)
+		for _, x := range ins {
+			v &= x
+		}
+		return v
+	case netlist.Or:
+		v := uint64(0)
+		for _, x := range ins {
+			v |= x
+		}
+		return v
+	case netlist.Nand:
+		v := ^uint64(0)
+		for _, x := range ins {
+			v &= x
+		}
+		return ^v
+	case netlist.Nor:
+		v := uint64(0)
+		for _, x := range ins {
+			v |= x
+		}
+		return ^v
+	case netlist.Xor:
+		v := uint64(0)
+		for _, x := range ins {
+			v ^= x
+		}
+		return v
+	case netlist.Xnor:
+		v := uint64(0)
+		for _, x := range ins {
+			v ^= x
+		}
+		return ^v
+	case netlist.Not:
+		return ^ins[0]
+	case netlist.Buf:
+		return ins[0]
+	case netlist.Mux2:
+		sel, a, b := ins[0], ins[1], ins[2]
+		return (a &^ sel) | (b & sel)
+	case netlist.Const0:
+		return 0
+	case netlist.Const1:
+		return ^uint64(0)
+	}
+	panic("fault: unknown gate kind")
+}

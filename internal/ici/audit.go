@@ -1,0 +1,122 @@
+package ici
+
+import (
+	"fmt"
+	"sort"
+
+	"rescue/internal/netlist"
+)
+
+// Grouping assigns every netlist component (by name) to a named
+// super-component — the granularity at which faults are mapped out. The
+// paper's Rescue grouping lumps, e.g., an issue-queue half, its selection
+// tree, and its wakeup/replay copy into one super-component (Section
+// 4.1.3).
+type Grouping map[string]string
+
+// AuditResult is the outcome of checking a netlist against a grouping.
+type AuditResult struct {
+	// BitSuper maps each observation-point index (netlist.ObsPoints order)
+	// to the single super-component feeding it, or "" for bits with no
+	// logic in their cone (direct FF-to-FF wiring).
+	BitSuper []string
+	// Violations lists observation points whose intra-cycle cone spans
+	// more than one super-component, with the offending super names.
+	Violations []AuditViolation
+}
+
+// AuditViolation is one observation point fed by multiple super-components.
+type AuditViolation struct {
+	Obs    int
+	Supers []string
+}
+
+// Audit verifies the ICI property of a gate-level netlist at the
+// granularity of a super-component grouping: every scan observation point
+// must be fed, within one cycle, by logic of at most one super-component.
+// Components missing from the grouping map to themselves.
+func Audit(n *netlist.Netlist, grouping Grouping) *AuditResult {
+	cones := n.FanInComps()
+	res := &AuditResult{BitSuper: make([]string, len(cones))}
+	for oi, comps := range cones {
+		supers := map[string]bool{}
+		for _, c := range comps {
+			name := n.CompName(c)
+			if s, ok := grouping[name]; ok {
+				name = s
+			}
+			supers[name] = true
+		}
+		switch len(supers) {
+		case 0:
+			res.BitSuper[oi] = ""
+		case 1:
+			for s := range supers {
+				res.BitSuper[oi] = s
+			}
+		default:
+			names := make([]string, 0, len(supers))
+			for s := range supers {
+				names = append(names, s)
+			}
+			sort.Strings(names)
+			res.Violations = append(res.Violations, AuditViolation{Obs: oi, Supers: names})
+			res.BitSuper[oi] = names[0] // arbitrary; design is not isolable here
+		}
+	}
+	return res
+}
+
+// OK reports whether the audit found no violations.
+func (r *AuditResult) OK() bool { return len(r.Violations) == 0 }
+
+// Isolate maps a set of failing observation points to the unique faulty
+// super-component, implementing the paper's single-lookup isolation. It
+// fails if the failing bits implicate more than one super-component (which
+// a compliant design produces only under multi-fault collisions within one
+// super) or none at all.
+func (r *AuditResult) Isolate(failObs []int) (string, error) {
+	supers := map[string]bool{}
+	for _, oi := range failObs {
+		if oi < 0 || oi >= len(r.BitSuper) {
+			return "", fmt.Errorf("ici: observation index %d out of range", oi)
+		}
+		if s := r.BitSuper[oi]; s != "" {
+			supers[s] = true
+		}
+	}
+	if len(supers) == 0 {
+		return "", fmt.Errorf("ici: no super-component implicated by %d failing bits", len(failObs))
+	}
+	if len(supers) > 1 {
+		names := make([]string, 0, len(supers))
+		for s := range supers {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		return "", fmt.Errorf("ici: failing bits implicate %d super-components: %v", len(supers), names)
+	}
+	for s := range supers {
+		return s, nil
+	}
+	panic("unreachable")
+}
+
+// IsolateEach maps failing bits to super-components individually and
+// returns the distinct set — used when multiple simultaneous faults in
+// different super-components are isolated by a single vector (the ICI
+// corollary of Section 3.1).
+func (r *AuditResult) IsolateEach(failObs []int) []string {
+	set := map[string]bool{}
+	for _, oi := range failObs {
+		if oi >= 0 && oi < len(r.BitSuper) && r.BitSuper[oi] != "" {
+			set[r.BitSuper[oi]] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,244 @@
+// Package ici implements intra-cycle logic independence — the central
+// formalism of the Rescue paper (Section 3). It provides:
+//
+//   - component-level dataflow graphs (the paper's LC diagrams of
+//     Figures 2–4), with latches marking cycle boundaries;
+//   - the ICI rule checker: a scan-detectable fault can be blamed on one
+//     and only one element of a component set iff there is no intra-cycle
+//     communication among the set's members;
+//   - super-component computation (components transitively connected by
+//     intra-cycle edges must be lumped for isolation);
+//   - the three ICI transformations: cycle splitting, logic privatization
+//     (full and partial), and dependence rotation;
+//   - a netlist-level audit that checks a gate-level design against a
+//     super-component grouping and builds the scan-bit isolation table.
+package ici
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeKind classifies graph nodes.
+type NodeKind uint8
+
+// Node kinds: Logic is a combinational logic component (an "LC"), Latch is
+// a pipeline register (cycle boundary), Source/Sink are primary inputs and
+// outputs (tester-controlled and tester-observed).
+const (
+	Logic NodeKind = iota
+	Latch
+	Source
+	Sink
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Logic:
+		return "logic"
+	case Latch:
+		return "latch"
+	case Source:
+		return "source"
+	default:
+		return "sink"
+	}
+}
+
+// NodeID identifies a node in a Graph.
+type NodeID int
+
+// Node is one vertex of a component dataflow graph.
+type Node struct {
+	Name string
+	Kind NodeKind
+}
+
+// Graph is a component-level dataflow graph. Edges are directed signal
+// flows; an edge between two Logic nodes is intra-cycle communication.
+type Graph struct {
+	Nodes []Node
+	// adjacency: out[from] lists successors, in[to] lists predecessors
+	out [][]NodeID
+	in  [][]NodeID
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// Add inserts a node and returns its ID.
+func (g *Graph) Add(name string, kind NodeKind) NodeID {
+	g.Nodes = append(g.Nodes, Node{Name: name, Kind: kind})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return NodeID(len(g.Nodes) - 1)
+}
+
+// Connect adds the directed edge from -> to (idempotent).
+func (g *Graph) Connect(from, to NodeID) {
+	for _, s := range g.out[from] {
+		if s == to {
+			return
+		}
+	}
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+}
+
+// Disconnect removes the edge from -> to if present.
+func (g *Graph) Disconnect(from, to NodeID) {
+	g.out[from] = remove(g.out[from], to)
+	g.in[to] = remove(g.in[to], from)
+}
+
+func remove(s []NodeID, x NodeID) []NodeID {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Succs returns the successors of n.
+func (g *Graph) Succs(n NodeID) []NodeID { return g.out[n] }
+
+// Preds returns the predecessors of n.
+func (g *Graph) Preds(n NodeID) []NodeID { return g.in[n] }
+
+// Name returns a node's name.
+func (g *Graph) Name(n NodeID) string { return g.Nodes[n].Name }
+
+// Violation is one intra-cycle communication edge between two distinct
+// logic components — the thing the ICI rule forbids within an isolation
+// set.
+type Violation struct {
+	From, To NodeID
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%d->%d", v.From, v.To) }
+
+// Violations lists every logic->logic edge. A graph with no violations has
+// perfect per-component isolation; otherwise components joined by
+// violations must be lumped into super-components.
+func (g *Graph) Violations() []Violation {
+	var out []Violation
+	for from := range g.Nodes {
+		if g.Nodes[from].Kind != Logic {
+			continue
+		}
+		for _, to := range g.out[from] {
+			if g.Nodes[to].Kind == Logic {
+				out = append(out, Violation{From: NodeID(from), To: to})
+			}
+		}
+	}
+	return out
+}
+
+// SuperComponents partitions the Logic nodes into super-components: the
+// weakly-connected components of the subgraph induced by logic->logic
+// edges. Faults isolate to super-component granularity (Section 3.2.2's
+// shaded ovals); a fully ICI design has singleton super-components.
+func (g *Graph) SuperComponents() [][]NodeID {
+	parent := make([]int, len(g.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, v := range g.Violations() {
+		union(int(v.From), int(v.To))
+	}
+	groups := map[int][]NodeID{}
+	for i, n := range g.Nodes {
+		if n.Kind != Logic {
+			continue
+		}
+		r := find(i)
+		groups[r] = append(groups[r], NodeID(i))
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][]NodeID, 0, len(groups))
+	for _, k := range keys {
+		grp := groups[k]
+		sort.Slice(grp, func(i, j int) bool { return grp[i] < grp[j] })
+		out = append(out, grp)
+	}
+	return out
+}
+
+// IsolationTable maps each Latch and Sink node to the set of
+// super-components whose logic feeds it within one cycle (traversal stops
+// at Latch and Source nodes). Under ICI every entry has exactly one
+// super-component — the paper's "single lookup" from failing scan bit to
+// faulty component.
+func (g *Graph) IsolationTable() map[NodeID][][]NodeID {
+	super := g.SuperComponents()
+	superOf := make(map[NodeID]int)
+	for si, grp := range super {
+		for _, n := range grp {
+			superOf[n] = si
+		}
+	}
+	table := map[NodeID][][]NodeID{}
+	for ni := range g.Nodes {
+		kind := g.Nodes[ni].Kind
+		if kind != Latch && kind != Sink {
+			continue
+		}
+		seen := map[NodeID]bool{}
+		superSeen := map[int]bool{}
+		var stack []NodeID
+		stack = append(stack, g.in[ni]...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			switch g.Nodes[n].Kind {
+			case Logic:
+				superSeen[superOf[n]] = true
+				stack = append(stack, g.in[n]...)
+			case Latch, Source:
+				// cycle boundary: stop
+			}
+		}
+		var supers [][]NodeID
+		idxs := make([]int, 0, len(superSeen))
+		for si := range superSeen {
+			idxs = append(idxs, si)
+		}
+		sort.Ints(idxs)
+		for _, si := range idxs {
+			supers = append(supers, super[si])
+		}
+		table[NodeID(ni)] = supers
+	}
+	return table
+}
+
+// CheckICI reports whether every latch/sink is fed by at most one
+// super-component AND every super-component is a singleton — i.e. faults
+// isolate to individual components.
+func (g *Graph) CheckICI() bool {
+	for _, grp := range g.SuperComponents() {
+		if len(grp) > 1 {
+			return false
+		}
+	}
+	return true
+}

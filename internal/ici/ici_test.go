@@ -1,0 +1,258 @@
+package ici
+
+import (
+	"testing"
+)
+
+// figure3a builds the paper's Figure 3a: LCW and LCX read sources; LCY and
+// LCZ both read LCX (and LCW feeds LCZ... in the figure LCY,LCZ read LCX;
+// LCW feeds only LCZ). Both LCY and LCZ write latches.
+func figure3a() (*Graph, map[string]NodeID) {
+	g := NewGraph()
+	ids := map[string]NodeID{}
+	add := func(name string, k NodeKind) NodeID {
+		id := g.Add(name, k)
+		ids[name] = id
+		return id
+	}
+	in := add("in", Source)
+	lcw := add("LCW", Logic)
+	lcx := add("LCX", Logic)
+	lcy := add("LCY", Logic)
+	lcz := add("LCZ", Logic)
+	ly := add("Ly", Latch)
+	lz := add("Lz", Latch)
+	g.Connect(in, lcw)
+	g.Connect(in, lcx)
+	g.Connect(lcx, lcy)
+	g.Connect(lcx, lcz)
+	g.Connect(lcw, lcz)
+	g.Connect(lcy, ly)
+	g.Connect(lcz, lz)
+	return g, ids
+}
+
+func TestViolationsFigure3a(t *testing.T) {
+	g, ids := figure3a()
+	v := g.Violations()
+	if len(v) != 3 {
+		t.Fatalf("violations = %v, want 3 (X->Y, X->Z, W->Z)", v)
+	}
+	if g.CheckICI() {
+		t.Fatal("Figure 3a must not satisfy ICI")
+	}
+	// all four LCs collapse into one super-component
+	sc := g.SuperComponents()
+	if len(sc) != 1 || len(sc[0]) != 4 {
+		t.Fatalf("super-components = %v", sc)
+	}
+	_ = ids
+}
+
+func TestCycleSplitFigure3b(t *testing.T) {
+	g, ids := figure3a()
+	// split every logic->logic edge (Figure 3b splits X from Y/Z; the W->Z
+	// edge needs splitting too for full ICI)
+	for _, v := range g.Violations() {
+		if _, err := g.CycleSplit(v.From, v.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.CheckICI() {
+		t.Fatalf("after cycle splitting: violations remain: %v", g.Violations())
+	}
+	// isolation table: every latch fed by exactly one singleton super
+	for node, supers := range g.IsolationTable() {
+		if len(supers) > 1 {
+			t.Errorf("latch %s fed by %d supers", g.Name(node), len(supers))
+		}
+	}
+	_ = ids
+}
+
+func TestCycleSplitErrors(t *testing.T) {
+	g, ids := figure3a()
+	if _, err := g.CycleSplit(ids["in"], ids["LCW"]); err == nil {
+		t.Fatal("splitting a source->logic edge must fail")
+	}
+	if _, err := g.CycleSplit(ids["LCW"], ids["LCY"]); err == nil {
+		t.Fatal("splitting a non-edge must fail")
+	}
+}
+
+func TestPrivatizeFigure3c(t *testing.T) {
+	g, ids := figure3a()
+	// privatize LCX: one copy for LCY, one for LCZ
+	copies, err := g.Privatize(ids["LCX"], [][]NodeID{{ids["LCY"]}, {ids["LCZ"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copies) != 1 {
+		t.Fatalf("copies = %v, want 1 new copy", copies)
+	}
+	// now LCX+LCY form one super, LCX'+LCZ+LCW form another
+	sc := g.SuperComponents()
+	if len(sc) != 2 {
+		t.Fatalf("super-components = %v, want 2", sc)
+	}
+	sizes := []int{len(sc[0]), len(sc[1])}
+	if sizes[0]+sizes[1] != 5 {
+		t.Fatalf("super sizes = %v, want total 5 (4 LCs + 1 copy)", sizes)
+	}
+	// each latch is fed by exactly one super-component
+	table := g.IsolationTable()
+	for node, supers := range table {
+		if g.Nodes[node].Kind == Latch && len(supers) != 1 {
+			t.Errorf("latch %s fed by %d supers, want 1", g.Name(node), len(supers))
+		}
+	}
+}
+
+func TestPrivatizePartial(t *testing.T) {
+	// Section 3.2.2's partial privatization: LCC..LCF read LCA; two copies
+	// serve {LCC,LCD} and {LCE,LCF} -> 2 super-components.
+	g := NewGraph()
+	in := g.Add("in", Source)
+	lca := g.Add("LCA", Logic)
+	g.Connect(in, lca)
+	var readers []NodeID
+	for _, name := range []string{"LCC", "LCD", "LCE", "LCF"} {
+		r := g.Add(name, Logic)
+		g.Connect(lca, r)
+		l := g.Add("L"+name, Latch)
+		g.Connect(r, l)
+		readers = append(readers, r)
+	}
+	if _, err := g.Privatize(lca, [][]NodeID{{readers[0], readers[1]}, {readers[2], readers[3]}}); err != nil {
+		t.Fatal(err)
+	}
+	sc := g.SuperComponents()
+	if len(sc) != 2 || len(sc[0]) != 3 || len(sc[1]) != 3 {
+		t.Fatalf("super-components = %v, want two groups of 3", sc)
+	}
+}
+
+func TestPrivatizeErrors(t *testing.T) {
+	g, ids := figure3a()
+	if _, err := g.Privatize(ids["LCX"], nil); err == nil {
+		t.Fatal("empty groups must fail")
+	}
+	if _, err := g.Privatize(ids["LCX"], [][]NodeID{{ids["LCW"]}}); err == nil {
+		t.Fatal("non-consumer in group must fail")
+	}
+	if _, err := g.Privatize(ids["LCX"], [][]NodeID{{ids["LCY"]}}); err == nil {
+		t.Fatal("incomplete cover must fail")
+	}
+	if _, err := g.Privatize(ids["LCX"], [][]NodeID{{ids["LCY"]}, {ids["LCY"], ids["LCZ"]}}); err == nil {
+		t.Fatal("duplicate consumer must fail")
+	}
+}
+
+// figure4a: the single-stage loop. LCA and LCB feed LCC; LCC feeds a latch;
+// the latch feeds LCA and LCB (issue-wakeup-style loop).
+func figure4a() (*Graph, map[string]NodeID) {
+	g := NewGraph()
+	ids := map[string]NodeID{}
+	add := func(name string, k NodeKind) NodeID {
+		id := g.Add(name, k)
+		ids[name] = id
+		return id
+	}
+	lca := add("LCA", Logic)
+	lcb := add("LCB", Logic)
+	lcc := add("LCC", Logic)
+	l := add("L", Latch)
+	g.Connect(lca, lcc)
+	g.Connect(lcb, lcc)
+	g.Connect(lcc, l)
+	g.Connect(l, lca)
+	g.Connect(l, lcb)
+	return g, ids
+}
+
+func TestDependenceRotationFigure4(t *testing.T) {
+	g, ids := figure4a()
+	// 4a: LCA,LCB,LCC form one super via A->C, B->C
+	if sc := g.SuperComponents(); len(sc) != 1 {
+		t.Fatalf("4a supers = %v, want 1", sc)
+	}
+	// rotate the latch across LCC: 4a -> 4b
+	newLatches, err := g.RotateDependence(ids["L"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newLatches) != 1 {
+		t.Fatalf("rotation created %d new latches, want 1", len(newLatches))
+	}
+	// 4b: violations are now C->A and C->B (same count, different shape)
+	v := g.Violations()
+	if len(v) != 2 {
+		t.Fatalf("4b violations = %v, want 2", v)
+	}
+	for _, viol := range v {
+		if viol.From != ids["LCC"] {
+			t.Fatalf("4b violation %v should originate at LCC", viol)
+		}
+	}
+	// 4b -> 4c: privatize LCC, one copy per reader
+	copies, err := g.Privatize(ids["LCC"], [][]NodeID{{ids["LCA"]}, {ids["LCB"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copies) != 1 {
+		t.Fatalf("copies = %v", copies)
+	}
+	// 4c: two super-components, {LCC,LCA} and {LCC',LCB}
+	sc := g.SuperComponents()
+	if len(sc) != 2 || len(sc[0]) != 2 || len(sc[1]) != 2 {
+		t.Fatalf("4c supers = %v, want two pairs", sc)
+	}
+	// and every latch sees exactly one super
+	for node, supers := range g.IsolationTable() {
+		if len(supers) != 1 {
+			t.Errorf("latch %s fed by %d supers, want 1", g.Name(node), len(supers))
+		}
+	}
+}
+
+func TestRotateErrors(t *testing.T) {
+	g, ids := figure4a()
+	if _, err := g.RotateDependence(ids["LCC"]); err == nil {
+		t.Fatal("rotating a logic node must fail")
+	}
+	// latch with two drivers
+	g2 := NewGraph()
+	a := g2.Add("A", Logic)
+	b := g2.Add("B", Logic)
+	l := g2.Add("L", Latch)
+	g2.Connect(a, l)
+	g2.Connect(b, l)
+	if _, err := g2.RotateDependence(l); err == nil {
+		t.Fatal("rotating a multi-driver latch must fail")
+	}
+}
+
+func TestRotationPreservesLoopLatency(t *testing.T) {
+	// the loop LCA -> LCC -> back to LCA must still contain exactly one
+	// latch after rotation (dependence rotation moves, never adds, delay)
+	g, ids := figure4a()
+	if _, err := g.RotateDependence(ids["L"]); err != nil {
+		t.Fatal(err)
+	}
+	// walk the loop from LCA: LCA -> L -> LCC -> LCA
+	latches := 0
+	cur := ids["LCA"]
+	for steps := 0; steps < 10; steps++ {
+		next := g.Succs(cur)[0]
+		if g.Nodes[next].Kind == Latch {
+			latches++
+		}
+		cur = next
+		if cur == ids["LCA"] {
+			break
+		}
+	}
+	if latches != 1 {
+		t.Fatalf("loop contains %d latches after rotation, want 1", latches)
+	}
+}

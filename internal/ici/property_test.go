@@ -1,0 +1,134 @@
+package ici
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDag builds a random layered component graph with sources, logic
+// and latches.
+func randomDag(seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	var prev []NodeID
+	for i := 0; i < 3; i++ {
+		prev = append(prev, g.Add("src", Source))
+	}
+	for layer := 0; layer < 4; layer++ {
+		var cur []NodeID
+		for i := 0; i < 2+r.Intn(4); i++ {
+			kind := Logic
+			if r.Intn(3) == 0 {
+				kind = Latch
+			}
+			n := g.Add("n", kind)
+			// connect to 1-3 random earlier nodes
+			for c := 0; c < 1+r.Intn(3); c++ {
+				g.Connect(prev[r.Intn(len(prev))], n)
+			}
+			cur = append(cur, n)
+		}
+		prev = append(prev, cur...)
+	}
+	for i := 0; i < 2; i++ {
+		sink := g.Add("out", Sink)
+		g.Connect(prev[len(prev)-1-i], sink)
+	}
+	return g
+}
+
+// Property: after cycle-splitting every violation, the graph satisfies ICI
+// with singleton super-components.
+func TestCycleSplitAlwaysRepairsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDag(seed % 10000)
+		for _, v := range g.Violations() {
+			if _, err := g.CycleSplit(v.From, v.To); err != nil {
+				return false
+			}
+		}
+		return g.CheckICI() && len(g.Violations()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: super-components partition the logic nodes (every logic node
+// in exactly one group).
+func TestSuperComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDag(seed % 10000)
+		seen := map[NodeID]int{}
+		for _, grp := range g.SuperComponents() {
+			for _, n := range grp {
+				seen[n]++
+				if g.Nodes[n].Kind != Logic {
+					return false
+				}
+			}
+		}
+		logicCount := 0
+		for i, n := range g.Nodes {
+			if n.Kind == Logic {
+				logicCount++
+				if seen[NodeID(i)] != 1 {
+					return false
+				}
+			}
+		}
+		return len(seen) == logicCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: full privatization of a violating producer leaves every copy
+// (original included) with exactly its assigned single consumer, and the
+// partition property still holds. (Privatization does NOT always shrink
+// super-components — copies inherit the producer's own logic inputs, which
+// is why the paper pairs it with cycle splitting or dependence rotation.)
+func TestPrivatizeStructureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDag(seed % 10000)
+		vs := g.Violations()
+		if len(vs) == 0 {
+			return true
+		}
+		prod := vs[0].From
+		consumers := append([]NodeID(nil), g.Succs(prod)...)
+		var groups [][]NodeID
+		for _, c := range consumers {
+			groups = append(groups, []NodeID{c})
+		}
+		copies, err := g.Privatize(prod, groups)
+		if err != nil {
+			return false
+		}
+		if len(copies) != len(consumers)-1 {
+			return false
+		}
+		all := append([]NodeID{prod}, copies...)
+		for _, n := range all {
+			if len(g.Succs(n)) != 1 {
+				return false
+			}
+		}
+		// partition property still holds
+		seen := map[NodeID]bool{}
+		for _, grp := range g.SuperComponents() {
+			for _, n := range grp {
+				if seen[n] {
+					return false
+				}
+				seen[n] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package ici
+
+import "fmt"
+
+// This file automates Section 3.2: given a component graph that violates
+// ICI, plan a sequence of transformations that repairs it. The planner
+// follows the paper's own decision rules:
+//
+//   - a latch-closed single-stage loop whose combining node reads several
+//     producers is handled by dependence rotation followed by privatizing
+//     the rotated node (the issue-select pattern of Figure 4);
+//   - a producer fanning out to several consumers is privatized when the
+//     duplicated logic is small (area threshold), one copy per consumer;
+//   - everything else is cycle split, at one latch of added latency per
+//     split edge.
+//
+// Costs are abstract: the caller supplies per-node area weights and marks
+// latency-critical edges that cycle splitting must avoid (e.g. the
+// issue-wakeup loop, where a split would break back-to-back issue).
+
+// TransformKind labels a planned step.
+type TransformKind int
+
+// Planned transformation kinds.
+const (
+	SplitEdge TransformKind = iota
+	PrivatizeNode
+	RotateLatch
+)
+
+func (k TransformKind) String() string {
+	switch k {
+	case SplitEdge:
+		return "cycle-split"
+	case PrivatizeNode:
+		return "privatize"
+	default:
+		return "rotate"
+	}
+}
+
+// Step is one planned transformation.
+type Step struct {
+	Kind TransformKind
+	// SplitEdge: From->To. PrivatizeNode: From = node. RotateLatch:
+	// From = latch.
+	From, To NodeID
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case SplitEdge:
+		return fmt.Sprintf("cycle-split %d->%d", s.From, s.To)
+	case PrivatizeNode:
+		return fmt.Sprintf("privatize %d", s.From)
+	default:
+		return fmt.Sprintf("rotate latch %d", s.From)
+	}
+}
+
+// PlanConfig tunes the planner.
+type PlanConfig struct {
+	// Area of each logic node (nil = unit areas). Privatization of node n
+	// costs Area[n] × (consumers−1).
+	Area map[NodeID]float64
+	// MaxPrivatizeArea is the largest duplication cost the planner accepts
+	// before falling back to cycle splitting.
+	MaxPrivatizeArea float64
+	// MaxSuperSize is the isolation granularity target: the planner stops
+	// once every super-component has at most this many components. The
+	// paper's end states are size-2 supers (Figures 3c, 4c); 1 forces
+	// complete independence.
+	MaxSuperSize int
+	// NoSplit marks latency-critical edges that must not be cycle split
+	// (the planner uses rotation/privatization there; if neither applies
+	// the plan fails).
+	NoSplit map[[2]NodeID]bool
+}
+
+// DefaultPlanConfig allows privatizing up to 2 units of area and targets
+// the paper's size-2 super-components.
+func DefaultPlanConfig() PlanConfig {
+	return PlanConfig{MaxPrivatizeArea: 2, MaxSuperSize: 2}
+}
+
+// Plan computes and APPLIES a transformation sequence that makes g satisfy
+// ICI, returning the steps taken. The graph is mutated; callers wanting a
+// dry run should plan on a copy. An error is returned when a
+// latency-critical edge cannot be repaired without splitting.
+func (g *Graph) Plan(cfg PlanConfig) ([]Step, error) {
+	areaOf := func(n NodeID) float64 {
+		if cfg.Area == nil {
+			return 1
+		}
+		if a, ok := cfg.Area[n]; ok {
+			return a
+		}
+		return 1
+	}
+	maxSuper := cfg.MaxSuperSize
+	if maxSuper < 1 {
+		maxSuper = 1
+	}
+	var steps []Step
+	for iter := 0; iter < 10*len(g.Nodes)+100; iter++ {
+		// only edges inside oversized super-components need repair: a
+		// super at or under the granularity target is the accepted end
+		// state (the paper's shaded ovals)
+		superOf := map[NodeID]int{}
+		oversized := map[int]bool{}
+		for si, grp := range g.SuperComponents() {
+			for _, n := range grp {
+				superOf[n] = si
+			}
+			if len(grp) > maxSuper {
+				oversized[si] = true
+			}
+		}
+		var vs []Violation
+		for _, v := range g.Violations() {
+			if oversized[superOf[v.From]] {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			return steps, nil
+		}
+
+		// 1. Rotation opportunity: a latch whose single driver is a logic
+		// node with >1 logic producers, where the driver's output edges are
+		// latency-critical (the Figure 4 issue-select shape).
+		if step, ok := g.findRotation(cfg); ok {
+			if _, err := g.RotateDependence(step.From); err == nil {
+				steps = append(steps, step)
+				continue
+			}
+		}
+
+		// 2. Pick the violation edge to repair: prefer producers with the
+		// most consumers (privatization fixes all their edges at once).
+		v := vs[0]
+		best := -1
+		for _, cand := range vs {
+			fanout := 0
+			for _, s := range g.Succs(cand.From) {
+				if g.Nodes[s].Kind == Logic {
+					fanout++
+				}
+			}
+			if fanout > best {
+				best = fanout
+				v = cand
+			}
+		}
+
+		logicConsumers := 0
+		for _, s := range g.Succs(v.From) {
+			if g.Nodes[s].Kind == Logic {
+				logicConsumers++
+			}
+		}
+		privCost := areaOf(v.From) * float64(logicConsumers-1)
+		critical := cfg.NoSplit[[2]NodeID{v.From, v.To}]
+
+		switch {
+		case logicConsumers > 1 && (privCost <= cfg.MaxPrivatizeArea || critical):
+			// one copy per consumer (latch/sink consumers keep the original)
+			var groups [][]NodeID
+			for _, s := range g.Succs(v.From) {
+				groups = append(groups, []NodeID{s})
+			}
+			if _, err := g.Privatize(v.From, groups); err != nil {
+				return steps, fmt.Errorf("ici: plan privatize %s: %w", g.Name(v.From), err)
+			}
+			steps = append(steps, Step{Kind: PrivatizeNode, From: v.From})
+		case critical:
+			return steps, fmt.Errorf("ici: edge %s->%s is latency-critical and has a single consumer; no legal transformation",
+				g.Name(v.From), g.Name(v.To))
+		default:
+			if _, err := g.CycleSplit(v.From, v.To); err != nil {
+				return steps, fmt.Errorf("ici: plan split: %w", err)
+			}
+			steps = append(steps, Step{Kind: SplitEdge, From: v.From, To: v.To})
+		}
+	}
+	return steps, fmt.Errorf("ici: plan did not converge")
+}
+
+// findRotation detects the Figure 4 pattern: latch L with a single logic
+// driver C; C has >=2 logic producers; and at least one of C's input edges
+// is latency-critical (so splitting is off the table). Rotation moves the
+// latch behind C, converting the many-producers-into-C violation into
+// C-fans-out, which privatization then fixes cheaply.
+func (g *Graph) findRotation(cfg PlanConfig) (Step, bool) {
+	for li := range g.Nodes {
+		if g.Nodes[li].Kind != Latch {
+			continue
+		}
+		l := NodeID(li)
+		if len(g.Preds(l)) != 1 {
+			continue
+		}
+		c := g.Preds(l)[0]
+		if g.Nodes[c].Kind != Logic {
+			continue
+		}
+		producers := 0
+		anyCritical := false
+		for _, p := range g.Preds(c) {
+			if g.Nodes[p].Kind == Logic {
+				producers++
+				if cfg.NoSplit[[2]NodeID{p, c}] {
+					anyCritical = true
+				}
+			}
+		}
+		if producers >= 2 && anyCritical {
+			return Step{Kind: RotateLatch, From: l}, true
+		}
+	}
+	return Step{}, false
+}
+
+// LatencyCost returns how many cycle-split latches a plan inserted — the
+// pipeline-depth cost of the repair.
+func LatencyCost(steps []Step) int {
+	n := 0
+	for _, s := range steps {
+		if s.Kind == SplitEdge {
+			n++
+		}
+	}
+	return n
+}
+
+// AreaCost returns the total duplicated area of a plan under the given
+// weights (unit weights when nil), counting each privatization as
+// (consumers-1) copies at plan time. The caller must pass the same Area
+// map given to Plan; rotation is free by construction.
+func AreaCost(steps []Step, g *Graph, area map[NodeID]float64) float64 {
+	total := 0.0
+	for _, s := range steps {
+		if s.Kind != PrivatizeNode {
+			continue
+		}
+		a := 1.0
+		if area != nil {
+			if v, ok := area[s.From]; ok {
+				a = v
+			}
+		}
+		// after Plan ran, the node has exactly one consumer; its copies
+		// are named "<name>'k" — count them
+		copies := 0
+		prefix := g.Name(s.From) + "'"
+		for i := range g.Nodes {
+			if g.Nodes[i].Kind == Logic && len(g.Name(NodeID(i))) > len(prefix) &&
+				g.Name(NodeID(i))[:len(prefix)] == prefix {
+				copies++
+			}
+		}
+		total += a * float64(copies)
+	}
+	return total
+}

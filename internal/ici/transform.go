@@ -1,0 +1,145 @@
+package ici
+
+import "fmt"
+
+// This file implements the three ICI transformations of Section 3.2. All
+// three turn intra-cycle communication into inter-cycle communication (or
+// remove the sharing that caused it); they operate on component graphs and
+// return the IDs of any nodes they create.
+
+// CycleSplit inserts a pipeline latch on the logic->logic edge from->to,
+// turning the intra-cycle dependence into an inter-cycle one (Section
+// 3.2.1, Figure 3a->3b). The cost — one extra cycle of latency on that
+// path — is the performance model's concern, not the graph's.
+func (g *Graph) CycleSplit(from, to NodeID) (NodeID, error) {
+	if g.Nodes[from].Kind != Logic || g.Nodes[to].Kind != Logic {
+		return 0, fmt.Errorf("ici: CycleSplit needs a logic->logic edge, got %v->%v",
+			g.Nodes[from].Kind, g.Nodes[to].Kind)
+	}
+	if !g.hasEdge(from, to) {
+		return 0, fmt.Errorf("ici: no edge %s->%s", g.Name(from), g.Name(to))
+	}
+	latch := g.Add(fmt.Sprintf("L(%s->%s)", g.Name(from), g.Name(to)), Latch)
+	g.Disconnect(from, to)
+	g.Connect(from, latch)
+	g.Connect(latch, to)
+	return latch, nil
+}
+
+func (g *Graph) hasEdge(from, to NodeID) bool {
+	for _, s := range g.out[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Privatize replicates logic node n so that each consumer in groups[i]
+// reads its own copy (Section 3.2.2, Figure 3c). groups partitions n's
+// logic consumers; len(groups) == number of copies after the call (full
+// privatization passes one singleton group per consumer, partial
+// privatization passes fewer, larger groups). Copy 0 reuses n itself. Each
+// copy inherits all of n's inputs. Returns the newly created copies.
+func (g *Graph) Privatize(n NodeID, groups [][]NodeID) ([]NodeID, error) {
+	if g.Nodes[n].Kind != Logic {
+		return nil, fmt.Errorf("ici: Privatize target must be logic, got %v", g.Nodes[n].Kind)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("ici: Privatize needs at least one consumer group")
+	}
+	// validate that groups cover exactly n's consumers
+	consumers := map[NodeID]bool{}
+	for _, s := range g.out[n] {
+		consumers[s] = true
+	}
+	covered := map[NodeID]bool{}
+	for _, grp := range groups {
+		for _, c := range grp {
+			if !consumers[c] {
+				return nil, fmt.Errorf("ici: %s is not a consumer of %s", g.Name(c), g.Name(n))
+			}
+			if covered[c] {
+				return nil, fmt.Errorf("ici: consumer %s appears in two groups", g.Name(c))
+			}
+			covered[c] = true
+		}
+	}
+	if len(covered) != len(consumers) {
+		return nil, fmt.Errorf("ici: groups cover %d of %d consumers", len(covered), len(consumers))
+	}
+	ins := append([]NodeID(nil), g.in[n]...)
+	var copies []NodeID
+	for gi, grp := range groups {
+		var copyNode NodeID
+		if gi == 0 {
+			copyNode = n
+			// detach consumers not in group 0
+			for _, s := range append([]NodeID(nil), g.out[n]...) {
+				inGrp := false
+				for _, c := range grp {
+					if c == s {
+						inGrp = true
+					}
+				}
+				if !inGrp {
+					g.Disconnect(n, s)
+				}
+			}
+			continue
+		}
+		copyNode = g.Add(fmt.Sprintf("%s'%d", g.Name(n), gi), Logic)
+		for _, p := range ins {
+			g.Connect(p, copyNode)
+		}
+		for _, c := range grp {
+			g.Connect(copyNode, c)
+		}
+		copies = append(copies, copyNode)
+	}
+	return copies, nil
+}
+
+// RotateDependence moves the pipeline latch of a single-stage loop across
+// node n (Section 3.2.3, Figure 4a->4b). Before: preds(n) -> n -> latch ->
+// consumers. After: each pred of n gets its own latch slice in front of n,
+// and n drives the latch's old consumers directly. The rotation only moves
+// logic relative to the latch — total loop latency is unchanged. Returns
+// the new per-predecessor latches.
+func (g *Graph) RotateDependence(latch NodeID) ([]NodeID, error) {
+	if g.Nodes[latch].Kind != Latch {
+		return nil, fmt.Errorf("ici: RotateDependence target must be a latch")
+	}
+	if len(g.in[latch]) != 1 {
+		return nil, fmt.Errorf("ici: latch %s must have exactly one driver, has %d",
+			g.Name(latch), len(g.in[latch]))
+	}
+	n := g.in[latch][0]
+	if g.Nodes[n].Kind != Logic {
+		return nil, fmt.Errorf("ici: latch driver must be logic")
+	}
+	consumers := append([]NodeID(nil), g.out[latch]...)
+	preds := append([]NodeID(nil), g.in[n]...)
+
+	// n now drives the latch's old consumers directly (intra-cycle)
+	g.Disconnect(n, latch)
+	for _, c := range consumers {
+		g.Disconnect(latch, c)
+		g.Connect(n, c)
+	}
+	// each predecessor's signal now crosses a latch before reaching n
+	var newLatches []NodeID
+	for i, p := range preds {
+		g.Disconnect(p, n)
+		var l NodeID
+		if i == 0 {
+			l = latch // reuse the original latch node for the first slice
+		} else {
+			l = g.Add(fmt.Sprintf("L(%s->%s)", g.Name(p), g.Name(n)), Latch)
+			newLatches = append(newLatches, l)
+		}
+		g.Connect(p, l)
+		g.Connect(l, n)
+	}
+	return newLatches, nil
+}

@@ -1,0 +1,99 @@
+// Package isa defines the micro-operation ISA consumed by the cycle-level
+// performance simulator (internal/uarch). It is a RISC-flavored abstract
+// instruction set: what matters for the paper's experiments is operation
+// class, latency, register dependences, and memory/branch behavior — not
+// encoding.
+package isa
+
+import "fmt"
+
+// Class groups operations by the pipeline resources they use.
+type Class uint8
+
+// Operation classes.
+const (
+	IntALU Class = iota
+	IntMul
+	IntDiv
+	FPAdd
+	FPMul
+	FPDiv
+	Load
+	Store
+	Branch
+	NOP
+)
+
+var classNames = [...]string{"IntALU", "IntMul", "IntDiv", "FPAdd", "FPMul", "FPDiv", "Load", "Store", "Branch", "NOP"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsFP reports whether the class executes in the floating-point backend.
+func (c Class) IsFP() bool { return c == FPAdd || c == FPMul || c == FPDiv }
+
+// IsMem reports whether the class occupies a load/store queue entry.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// Reg is an architectural register specifier. The integer file is
+// registers [0, NumIntRegs); the FP file is [NumIntRegs, NumIntRegs+
+// NumFPRegs). RegNone marks an unused operand.
+type Reg int16
+
+// Register file shape.
+const (
+	NumIntRegs     = 32
+	NumFPRegs      = 32
+	NumRegs        = NumIntRegs + NumFPRegs
+	RegNone    Reg = -1
+)
+
+// Inst is one dynamic instruction in a trace.
+type Inst struct {
+	PC    uint64
+	Class Class
+	Dest  Reg // RegNone if the instruction writes no register
+	Src1  Reg
+	Src2  Reg
+
+	// Memory operations.
+	Addr uint64 // effective address (Load/Store)
+
+	// Branches.
+	Taken  bool   // actual direction
+	Target uint64 // actual next PC when taken
+}
+
+// NextPC returns the architecturally-correct next PC.
+func (i Inst) NextPC() uint64 {
+	if i.Class == Branch && i.Taken {
+		return i.Target
+	}
+	return i.PC + 8
+}
+
+// Latency returns the execution latency (cycles in a functional unit) of a
+// class, matching common SimpleScalar-era configurations.
+func (c Class) Latency() int {
+	switch c {
+	case IntALU, NOP, Branch:
+		return 1
+	case IntMul:
+		return 3
+	case IntDiv:
+		return 20
+	case FPAdd:
+		return 2
+	case FPMul:
+		return 4
+	case FPDiv:
+		return 12
+	case Load, Store:
+		return 1 // address generation; cache access modeled separately
+	}
+	return 1
+}

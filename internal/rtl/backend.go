@@ -1,0 +1,178 @@
+package rtl
+
+import (
+	"fmt"
+
+	"rescue/internal/netlist"
+)
+
+// buildRegRead models the register-read stage (Section 4.5): the register
+// file uses multiple reduced-port copies (as in the Alpha 21264); each copy
+// is an independent logic block obeying ICI — specifiers come from the
+// issue latch, data goes straight to the output latch. Rescue and baseline
+// share the structure (the baseline 21264-style file already has copies);
+// what differs is only the map-out ability, which lives in the fault map.
+func (p *pipe) buildRegRead() {
+	cfg := p.cfg
+	regs := 1 << uint(cfg.TagW)
+
+	// writeback ports into the register file copies are declared here as
+	// placeholder buses and driven by buildWriteback.
+	p.wbTag = make([]Bus, cfg.Ways)
+	p.wbOut = make([]Bus, cfg.Ways)
+	wbEn := make([]netlist.NetID, cfg.Ways)
+	p.comp("be0.rfwb", "writeback")
+	for k := 0; k < cfg.Ways; k++ {
+		if k == cfg.Ways/2 {
+			p.comp("be1.rfwb", "writeback")
+		}
+		pre := fmt.Sprintf("rf.wb%d", k)
+		wbEn[k] = p.ffHole(pre + ".en")
+		p.wbTag[k] = p.ffHoleBus(pre+".tag", cfg.TagW)
+		p.wbOut[k] = p.ffHoleBus(pre+".data", cfg.DataW)
+	}
+	p.wbVal = wbEn
+
+	for g := 0; g < cfg.Ways/2; g++ {
+		comp := fmt.Sprintf("be%d.rf", g)
+		p.comp(comp, "regread")
+		// storage
+		rows := make([]Bus, regs)
+		for r := 0; r < regs; r++ {
+			rows[r] = p.ffHoleBus(fmt.Sprintf("%s.r%d", comp, r), cfg.DataW)
+		}
+		// write ports: every backend way writes every copy (a faulty way's
+		// port is disabled by the fault map — Section 4.8)
+		for r := 0; r < regs; r++ {
+			next := rows[r].hold()
+			for k := 0; k < cfg.Ways; k++ {
+				en := p.n.And(wbEn[k], p.eqConst(p.wbTag[k], r))
+				if p.rescue {
+					en = p.n.And(en, p.n.Not(p.fmapBE[k]))
+				}
+				next = p.muxBus(en, next, p.wbOut[k])
+			}
+			p.driveBus(rows[r], next)
+		}
+		// read ports for this copy's two backend ways
+		for j := 0; j < 2; j++ {
+			k := 2*g + j
+			v1 := p.muxTree(p.issued[k].src1Tag, rows)
+			v2 := p.muxTree(p.issued[k].src2Tag, rows)
+			p.rrOut = append(p.rrOut, p.regBus(v1, fmt.Sprintf("rr.i%d.v1", k)))
+			p.rrOut2 = append(p.rrOut2, p.regBus(v2, fmt.Sprintf("rr.i%d.v2", k)))
+		}
+	}
+}
+
+// hold returns the bus itself (named for readability at write-port chains).
+func (v Bus) hold() Bus { return v }
+
+// eqConst compares a bus against a constant without burning const gates
+// per bit: bits that must be 0 are inverted into the AND tree.
+func (p *pipe) eqConst(v Bus, c int) netlist.NetID {
+	terms := make([]netlist.NetID, len(v))
+	for i := range v {
+		if c&(1<<uint(i)) != 0 {
+			terms[i] = v[i]
+		} else {
+			terms[i] = p.n.Not(v[i])
+		}
+	}
+	return p.reduceAnd(terms)
+}
+
+// buildExecute models the execute stage (Section 4.6): per-way ALU with a
+// full bypass network. Forwarding reads pipeline latches (inter-cycle, so
+// ICI holds); for map-out, forwarding matches from fault-mapped ways are
+// masked so fault-free ways never consume faulty data.
+func (p *pipe) buildExecute() {
+	cfg := p.cfg
+	for k := 0; k < cfg.Ways; k++ {
+		g := k / 2
+		p.comp(fmt.Sprintf("be%d.ex%d", g, k), "execute")
+		ins := p.issued[k]
+		bypass := func(tag Bus, regVal Bus) Bus {
+			v := regVal
+			for j := 0; j < cfg.Ways; j++ {
+				m := p.n.And(p.wbVal[j], p.eq(tag, p.wbTag[j]))
+				if p.rescue {
+					// mask forwarding from faulty ways (fault-map register)
+					m = p.n.And(m, p.n.Not(p.fmapBE[j]))
+				}
+				v = p.muxBus(m, v, p.wbOut[j])
+			}
+			return v
+		}
+		a := bypass(ins.src1Tag, p.rrOut[k])
+		c := bypass(ins.src2Tag, p.rrOut2[k])
+		// ALU: add, and, xor, pass-b selected by op[1:0]
+		sum, _ := p.adder(a, c, p.tie0())
+		band := make(Bus, cfg.DataW)
+		bxor := make(Bus, cfg.DataW)
+		for i := 0; i < cfg.DataW; i++ {
+			band[i] = p.n.And(a[i], c[i])
+			bxor[i] = p.n.Xor(a[i], c[i])
+		}
+		r0 := p.muxBus(ins.op[0], sum, band)
+		r1 := p.muxBus(ins.op[0], bxor, c)
+		res := p.muxBus(ins.op[1], r0, r1)
+		pre := fmt.Sprintf("ex.i%d", k)
+		p.exOut = append(p.exOut, p.regBus(res, pre+".res"))
+		// carry the dest tag and valid alongside (same component)
+		p.regBus(ins.destTag, pre+".dest")
+		p.n.AddFF(ins.valid, pre+".valid")
+	}
+}
+
+// buildWriteback models writeback and commit (Sections 4.8, 4.9): the
+// execute results move into the writeback latches that drive the register
+// file write ports (declared in buildRegRead) and, gated per backend way
+// by the fault map, the architectural commit outputs.
+func (p *pipe) buildWriteback() {
+	cfg := p.cfg
+	for k := 0; k < cfg.Ways; k++ {
+		g := k / 2
+		p.comp(fmt.Sprintf("be%d.wb%d", g, k), "writeback")
+		// find the execute latch FFs for way k by recomputing their nets:
+		// exOut[k] is the result; dest/valid latches were created alongside
+		// and are reachable via the issued latch one cycle earlier. For
+		// structural clarity we re-latch into the declared writeback holes.
+		p.drive(p.wbVal[k], p.issuedValidDelayed(k))
+		p.driveBus(p.wbTag[k], p.issuedDestDelayed(k))
+		p.driveBus(p.wbOut[k], p.exOut[k])
+
+		// commit port: results leave the core, disabled for faulty ways
+		en := p.n.Not(p.fmapBE[k])
+		if !p.rescue {
+			en = p.n.Const(true)
+		}
+		out := p.andBus(en, p.wbOut[k])
+		p.outputBus(out, fmt.Sprintf("commit.i%d", k))
+		p.n.Output(p.n.And(en, p.wbVal[k]), fmt.Sprintf("commit.i%d.valid", k))
+	}
+}
+
+// issuedValidDelayed / issuedDestDelayed return the execute-stage copies of
+// the issued instruction's valid and dest tag (latched in buildExecute).
+func (p *pipe) issuedValidDelayed(k int) netlist.NetID {
+	return p.findFF(fmt.Sprintf("ex.i%d.valid", k))
+}
+
+func (p *pipe) issuedDestDelayed(k int) Bus {
+	out := make(Bus, p.cfg.TagW)
+	for i := range out {
+		out[i] = p.findFF(fmt.Sprintf("ex.i%d.dest[%d]", k, i))
+	}
+	return out
+}
+
+// findFF looks up a flip-flop by name and returns its Q net.
+func (p *pipe) findFF(name string) netlist.NetID {
+	for i := range p.n.FFs {
+		if p.n.FFs[i].Name == name {
+			return p.n.FFs[i].Q
+		}
+	}
+	panic("rtl: FF not found: " + name)
+}

@@ -1,0 +1,241 @@
+package rtl
+
+import (
+	"fmt"
+
+	"rescue/internal/ici"
+	"rescue/internal/netlist"
+)
+
+// Variant selects which design Build generates.
+type Variant int
+
+// Build variants: Baseline is the conventional superscalar (single map
+// table, monolithic compacting issue queue with a combining select root,
+// same-cycle rename); Rescue is the ICI-transformed design of Section 4.
+const (
+	Baseline Variant = iota
+	RescueDesign
+)
+
+func (v Variant) String() string {
+	if v == Baseline {
+		return "baseline"
+	}
+	return "rescue"
+}
+
+// Design bundles a generated netlist with its ICI metadata.
+type Design struct {
+	N        *netlist.Netlist
+	Cfg      Config
+	Variant  Variant
+	Grouping ici.Grouping
+	// StageOfComp maps component name -> pipeline stage name (fetch,
+	// decode, rename, issue, execute, memory, regread, writeback, commit),
+	// used by the Section 6.1 per-stage fault-injection campaign.
+	StageOfComp map[string]string
+}
+
+// instr is an un-renamed instruction bundle flowing through the frontend.
+type instr struct {
+	valid            netlist.NetID
+	op               Bus
+	dest, src1, src2 Bus // architectural specifiers
+	imm              Bus
+}
+
+// renamed is a post-rename instruction bundle.
+type renamed struct {
+	valid                     netlist.NetID
+	op                        Bus
+	destTag, src1Tag, src2Tag Bus
+	imm                       Bus
+}
+
+// pipe carries build state across stage constructors.
+type pipe struct {
+	b
+	cfg    Config
+	rescue bool
+	d      *Design
+	zero   netlist.NetID                    // shared tie-0, ONLY for FF placeholders (always rewired)
+	ties   map[netlist.CompID]netlist.NetID // per-component tie-0 cells
+
+	// fault-map register (Section 4: 2*n+4 bits; modeled as one disable
+	// bit per frontend way, one per backend way, one per queue half).
+	fmapFE, fmapBE Bus
+	fmapIQ         Bus // 2 bits
+	fmapLSQ        Bus // 2 bits
+
+	fetched []instr   // fetch-latch outputs
+	routed  []instr   // route-stage latch outputs (rescue) or fetched
+	decoded []instr   // decode latch outputs (op replaced by control bits)
+	renamed []renamed // rename output latch
+
+	selLatch [][]renamed // [half][slot] selected-instruction latches
+	selValid [][]netlist.NetID
+	issued   []renamed // post-routing backend input latches
+
+	rrOut  []Bus // regread output latches per backend way (src1 value)
+	rrOut2 []Bus // src2 value
+	exOut  []Bus // execute output latches per backend way
+	wbOut  []Bus // writeback latches per backend way
+	wbTag  []Bus // writeback dest tags
+	wbVal  []netlist.NetID
+}
+
+// comp switches the current component and records its pipeline stage.
+func (p *pipe) comp(name, stage string) {
+	p.n.Component(name)
+	p.d.StageOfComp[name] = stage
+}
+
+// tie0 returns a tie-0 cell owned by the CURRENT component, creating one on
+// first use. Tie cells must not be shared across components: a shared tie
+// would appear in every consumer's fan-in cone and wreck isolation.
+func (p *pipe) tie0() netlist.NetID {
+	c := p.n.CurrentComp()
+	if id, ok := p.ties[c]; ok {
+		return id
+	}
+	id := p.n.Const(false)
+	p.ties[c] = id
+	return id
+}
+
+// ffHole creates a flip-flop whose D will be rewired later (placeholder
+// tie-0). Used when next-state logic needs the Q values of the registers
+// it drives (queues, counters).
+func (p *pipe) ffHole(name string) netlist.NetID {
+	return p.n.AddFF(p.zero, name)
+}
+
+// ffHoleBus creates a bus of placeholder FFs.
+func (p *pipe) ffHoleBus(name string, w int) Bus {
+	out := make(Bus, w)
+	for i := range out {
+		out[i] = p.ffHole(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return out
+}
+
+// drive rewires a placeholder FF's D input.
+func (p *pipe) drive(q netlist.NetID, d netlist.NetID) {
+	ff := p.n.DriverFF(q)
+	p.n.FFs[ff].D = d
+}
+
+// driveBus rewires a bus of placeholder FFs.
+func (p *pipe) driveBus(q Bus, d Bus) {
+	for i := range q {
+		p.drive(q[i], d[i])
+	}
+}
+
+// Build generates the gate-level pipeline netlist for the given variant.
+func Build(cfg Config, v Variant) (*Design, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := netlist.New(fmt.Sprintf("pipeline-%s", v))
+	d := &Design{N: n, Cfg: cfg, Variant: v, StageOfComp: map[string]string{}}
+	p := &pipe{b: b{n: n}, cfg: cfg, rescue: v == RescueDesign, d: d,
+		ties: map[netlist.CompID]netlist.NetID{}}
+	n.Component("chipkill.ties")
+	d.StageOfComp["chipkill.ties"] = "fetch"
+	p.zero = n.Const(false)
+
+	p.buildFaultMap()
+	p.buildFetch()
+	p.buildRoute()
+	p.buildDecode()
+	p.buildRename()
+	p.buildIssue()
+	p.buildRegRead()
+	p.buildExecute()
+	p.buildLSQ()
+	p.buildWriteback()
+
+	d.Grouping = p.grouping()
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("rtl: generated %s netlist invalid: %w", v, err)
+	}
+	return d, nil
+}
+
+// buildFaultMap creates the fault-map register: scan-loaded FFs whose D
+// inputs hold their value (after test the register is frozen by fuses; in
+// the netlist it is a plain scannable register). It is chipkill area.
+func (p *pipe) buildFaultMap() {
+	p.comp("chipkill.fmap", "fetch")
+	mk := func(name string, nbits int) Bus {
+		out := make(Bus, nbits)
+		for i := range out {
+			// self-holding FF: D is a buffered copy of Q
+			d := p.n.Input(fmt.Sprintf("fmap.%s[%d]", name, i))
+			out[i] = p.n.AddFF(d, fmt.Sprintf("fmap.%s.q[%d]", name, i))
+		}
+		return out
+	}
+	p.fmapFE = mk("fe", p.cfg.Ways)
+	p.fmapBE = mk("be", p.cfg.Ways)
+	p.fmapIQ = mk("iq", 2)
+	p.fmapLSQ = mk("lsq", 2)
+}
+
+// grouping returns the super-component assignment used for isolation and
+// map-out (Section 4's half-pipeline granularity).
+func (p *pipe) grouping() ici.Grouping {
+	g := ici.Grouping{}
+	for comp := range p.d.StageOfComp {
+		g[comp] = superOf(comp)
+	}
+	return g
+}
+
+// superOf maps a component name to its super-component by prefix
+// convention: "fe0.xxx" -> "FE0", "iq.q1"/"iq.sel1"/"iq.bc1" -> "IQ1",
+// "lsq.*0" -> "LSQ0", roots -> their backend group, "be1.xxx" -> "BE1",
+// "chipkill.*" -> "CHIPKILL". Baseline shared components keep their own
+// names, which is precisely why the baseline audit reports violations.
+func superOf(comp string) string {
+	switch {
+	case len(comp) >= 3 && comp[:3] == "fe0":
+		return "FE0"
+	case len(comp) >= 3 && comp[:3] == "fe1":
+		return "FE1"
+	case len(comp) >= 3 && comp[:3] == "be0":
+		return "BE0"
+	case len(comp) >= 3 && comp[:3] == "be1":
+		return "BE1"
+	case comp == "iq.q0" || comp == "iq.sel0" || comp == "iq.bc0":
+		return "IQ0"
+	case comp == "iq.q1" || comp == "iq.sel1" || comp == "iq.bc1":
+		return "IQ1"
+	case comp == "lsq.q0" || comp == "lsq.ins0" || comp == "lsq.subA0" || comp == "lsq.subB0":
+		return "LSQ0"
+	case comp == "lsq.q1" || comp == "lsq.ins1" || comp == "lsq.subA1" || comp == "lsq.subB1":
+		return "LSQ1"
+	case comp == "lsq.rootA":
+		return "BE0" // a faulty tree disables the backend way using it
+	case comp == "lsq.rootB":
+		return "BE1"
+	case len(comp) >= 8 && comp[:8] == "chipkill":
+		return "CHIPKILL"
+	}
+	return comp
+}
+
+// SuperComponents lists the distinct super-component names of a design.
+func (d *Design) SuperComponents() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range d.Grouping {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package rtl
+
+import "fmt"
+
+// Config parameterizes the generated pipeline netlists. Widths are small
+// relative to a real 64-bit core (the paper's claims concern structure, not
+// datapath width), but every structural element — CAM wakeup, select trees,
+// compaction muxes, map tables, LSQ search trees, bypass networks — is
+// present at full logic detail.
+type Config struct {
+	Ways       int // superscalar width (frontend ways == backend ways)
+	OpW        int // opcode bits
+	ArchW      int // architectural register specifier bits
+	TagW       int // physical tag bits
+	DataW      int // datapath payload bits
+	AddrW      int // LSQ address bits
+	IQEntries  int // issue-queue entries (split into two halves in Rescue)
+	LSQEntries int // load/store queue entries (two halves)
+	TempSlots  int // Rescue inter-segment compaction buffer entries
+}
+
+// Default returns the full-size model: a 4-way pipeline with the paper's
+// two-half 16-entry issue queue model. (The performance simulator uses the
+// paper's Table 1 sizes; the netlist uses reduced entry counts so ATPG
+// stays tractable while keeping identical structure.)
+func Default() Config {
+	return Config{
+		Ways:       4,
+		OpW:        4,
+		ArchW:      4,
+		TagW:       5,
+		DataW:      8,
+		AddrW:      8,
+		IQEntries:  16,
+		LSQEntries: 8,
+		TempSlots:  4,
+	}
+}
+
+// Small returns a reduced configuration for unit tests.
+func Small() Config {
+	return Config{
+		Ways:       2,
+		OpW:        3,
+		ArchW:      3,
+		TagW:       4,
+		DataW:      4,
+		AddrW:      4,
+		IQEntries:  8,
+		LSQEntries: 4,
+		TempSlots:  2,
+	}
+}
+
+// Validate checks configuration invariants.
+func (c Config) Validate() error {
+	if c.Ways < 2 || c.Ways%2 != 0 {
+		return fmt.Errorf("rtl: Ways must be even and >= 2, got %d", c.Ways)
+	}
+	if c.IQEntries%2 != 0 || c.LSQEntries%2 != 0 {
+		return fmt.Errorf("rtl: queue entry counts must be even")
+	}
+	if c.TempSlots < 1 || c.TempSlots > c.IQEntries/2 {
+		return fmt.Errorf("rtl: TempSlots must be in [1, IQEntries/2]")
+	}
+	for _, w := range []int{c.OpW, c.ArchW, c.TagW, c.DataW, c.AddrW} {
+		if w < 1 || w > 16 {
+			return fmt.Errorf("rtl: field widths must be in [1,16]")
+		}
+	}
+	return nil
+}
+
+// feGroup returns the frontend fault-equivalence group of way w (ways are
+// paired: 0,1 -> group 0; 2,3 -> group 1; and so on).
+func (c Config) feGroup(w int) int { return w / 2 }
+
+// NumFEGroups returns the number of frontend groups.
+func (c Config) NumFEGroups() int { return c.Ways / 2 }

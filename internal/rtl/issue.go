@@ -1,0 +1,547 @@
+package rtl
+
+import (
+	"fmt"
+
+	"rescue/internal/netlist"
+)
+
+// iqEntry is one issue-queue entry's register state (Q nets of its FFs).
+type iqEntry struct {
+	valid, rdy1, rdy2 netlist.NetID
+	s1, s2, dest      Bus
+	op                Bus
+}
+
+// newEntryHoles allocates an entry's FFs with placeholder D inputs.
+func (p *pipe) newEntryHoles(name string) iqEntry {
+	cfg := p.cfg
+	return iqEntry{
+		valid: p.ffHole(name + ".valid"),
+		rdy1:  p.ffHole(name + ".rdy1"),
+		rdy2:  p.ffHole(name + ".rdy2"),
+		s1:    p.ffHoleBus(name+".s1", cfg.TagW),
+		s2:    p.ffHoleBus(name+".s2", cfg.TagW),
+		dest:  p.ffHoleBus(name+".dest", cfg.TagW),
+		op:    p.ffHoleBus(name+".op", cfg.OpW),
+	}
+}
+
+// entryVal is a combinational snapshot of an entry's next or current value.
+type entryVal struct {
+	valid, rdy1, rdy2 netlist.NetID
+	s1, s2, dest      Bus
+	op                Bus
+}
+
+func (e iqEntry) val(p *pipe) entryVal {
+	return entryVal{valid: e.valid, rdy1: e.rdy1, rdy2: e.rdy2,
+		s1: e.s1, s2: e.s2, dest: e.dest, op: e.op}
+}
+
+// muxEntry selects between two entry values bitwise.
+func (p *pipe) muxEntry(sel netlist.NetID, a, c entryVal) entryVal {
+	return entryVal{
+		valid: p.n.Mux(sel, a.valid, c.valid),
+		rdy1:  p.n.Mux(sel, a.rdy1, c.rdy1),
+		rdy2:  p.n.Mux(sel, a.rdy2, c.rdy2),
+		s1:    p.muxBus(sel, a.s1, c.s1),
+		s2:    p.muxBus(sel, a.s2, c.s2),
+		dest:  p.muxBus(sel, a.dest, c.dest),
+		op:    p.muxBus(sel, a.op, c.op),
+	}
+}
+
+// renamedVal converts a renamed-latch bundle to an entry value (sources
+// start not-ready; real designs check the scoreboard — structurally the
+// wakeup network provides readiness).
+func (p *pipe) renamedVal(r renamed) entryVal {
+	return entryVal{valid: r.valid, rdy1: p.tie0(), rdy2: p.tie0(),
+		s1: r.src1Tag, s2: r.src2Tag, dest: r.destTag, op: r.op}
+}
+
+// broadcast is one wakeup broadcast slot: a dest tag and a valid bit.
+type broadcast struct {
+	tag   Bus
+	valid netlist.NetID
+}
+
+// wakeupMatch builds the CAM match for one source tag against a set of
+// broadcasts: OR over slots of (valid AND tag-equal).
+func (p *pipe) wakeupMatch(src Bus, bcasts []broadcast) netlist.NetID {
+	terms := make([]netlist.NetID, len(bcasts))
+	for i, bc := range bcasts {
+		terms[i] = p.n.And(bc.valid, p.eq(src, bc.tag))
+	}
+	return p.reduceOr(terms)
+}
+
+// selSlot is one latched selection result: whether a slot selected an
+// instruction, the one-hot entry grant, and the selected payload.
+type selSlot struct {
+	valid netlist.NetID
+	grant []netlist.NetID // one-hot over the half's entries
+	dest  Bus
+	s1    Bus
+	s2    Bus
+	op    Bus
+}
+
+// buildSelect constructs a select tree over entries: up to `slots` grants
+// in priority (age ~ position) order, each gated by the resource limit
+// thermometer `allow` (allow[k] = "slot k may issue") and the half-disable
+// signal. Returns latched slots (latch FFs tagged with the current comp).
+func (p *pipe) buildSelect(name string, entries []iqEntry, allow []netlist.NetID, halfDead netlist.NetID) []selSlot {
+	reqs := make([]netlist.NetID, len(entries))
+	for i, e := range entries {
+		r := p.n.And(e.valid, p.n.And(e.rdy1, e.rdy2))
+		reqs[i] = p.n.And(r, p.n.Not(halfDead))
+	}
+	slots := len(allow)
+	taken := make([]netlist.NetID, len(entries))
+	for i := range taken {
+		taken[i] = p.tie0()
+	}
+	var out []selSlot
+	for k := 0; k < slots; k++ {
+		rem := make([]netlist.NetID, len(entries))
+		for i := range entries {
+			rem[i] = p.n.And(reqs[i], p.n.Not(taken[i]))
+		}
+		grants, any := p.priorityGrant(rem)
+		for i := range grants {
+			grants[i] = p.n.And(grants[i], allow[k])
+		}
+		valid := p.n.And(any, allow[k])
+		for i := range taken {
+			taken[i] = p.n.Or(taken[i], grants[i])
+		}
+		// payload muxes
+		bus := func(get func(iqEntry) Bus) Bus {
+			ins := make([]Bus, len(entries))
+			for i, e := range entries {
+				ins[i] = get(e)
+			}
+			return p.onehotMux(grants, ins)
+		}
+		slot := selSlot{
+			valid: p.n.AddFF(valid, fmt.Sprintf("%s.sel%d.valid", name, k)),
+			dest:  p.regBus(bus(func(e iqEntry) Bus { return e.dest }), fmt.Sprintf("%s.sel%d.dest", name, k)),
+			s1:    p.regBus(bus(func(e iqEntry) Bus { return e.s1 }), fmt.Sprintf("%s.sel%d.s1", name, k)),
+			s2:    p.regBus(bus(func(e iqEntry) Bus { return e.s2 }), fmt.Sprintf("%s.sel%d.s2", name, k)),
+			op:    p.regBus(bus(func(e iqEntry) Bus { return e.op }), fmt.Sprintf("%s.sel%d.op", name, k)),
+		}
+		slot.grant = make([]netlist.NetID, len(entries))
+		for i := range entries {
+			slot.grant[i] = p.n.AddFF(grants[i], fmt.Sprintf("%s.sel%d.g%d", name, k, i))
+		}
+		out = append(out, slot)
+	}
+	return out
+}
+
+// allowThermo builds allow[k] = "at most (Ways - disabledBE) instructions
+// may issue; slot k is within budget": allow[k] = NOT atLeast(k+1 disabled
+// ... ) — i.e. k < Ways - popcount(fmapBE).
+func (p *pipe) allowThermo(extra netlist.NetID) []netlist.NetID {
+	cfg := p.cfg
+	dis := make([]netlist.NetID, len(p.fmapBE))
+	copy(dis, p.fmapBE)
+	ge := p.atLeast(dis) // ge[j-1] = popcount(disabled) >= j
+	allow := make([]netlist.NetID, cfg.Ways)
+	for k := 0; k < cfg.Ways; k++ {
+		// slot k allowed iff disabled <= Ways-1-k, i.e. NOT (disabled >= Ways-k)
+		j := cfg.Ways - k
+		var ok netlist.NetID
+		if j-1 < len(ge) {
+			ok = p.n.Not(ge[j-1])
+		} else {
+			ok = p.n.Const(true)
+		}
+		if extra != netlist.InvalidNet {
+			ok = p.n.And(ok, p.n.Not(extra))
+		}
+		allow[k] = ok
+	}
+	return allow
+}
+
+// buildIssue constructs the issue stage. Rescue (Section 4.1.2, Figure 6):
+// two independent halves, each with its own select sub-tree and privatized
+// broadcast/replay copy; inter-segment compaction cycle-split through a
+// temporary latch; a routing stage after issue. Baseline (Section 4.1.1):
+// one compacting queue whose free-slot count chains across halves, a select
+// chain spanning the whole queue, and one shared broadcast block — the ICI
+// violations the paper calls out.
+func (p *pipe) buildIssue() {
+	if p.rescue {
+		p.buildIssueRescue()
+	} else {
+		p.buildIssueBaseline()
+	}
+	p.buildIssueRouting()
+}
+
+func (p *pipe) buildIssueRescue() {
+	cfg := p.cfg
+	h := cfg.IQEntries / 2
+
+	// --- Entry storage (placeholders now, next-state logic below) ---
+	halves := [2][]iqEntry{}
+	for hf := 0; hf < 2; hf++ {
+		p.comp(fmt.Sprintf("iq.q%d", hf), "issue")
+		for e := 0; e < h; e++ {
+			halves[hf] = append(halves[hf], p.newEntryHoles(fmt.Sprintf("iq%d.e%d", hf, e)))
+		}
+	}
+	// temporary inter-segment latch (written by the new half)
+	p.comp("iq.q1", "issue")
+	temp := make([]iqEntry, cfg.TempSlots)
+	for t := 0; t < cfg.TempSlots; t++ {
+		temp[t] = p.newEntryHoles(fmt.Sprintf("iq.temp%d", t))
+	}
+	// old half's "request instructions" latch, written by old half
+	p.comp("iq.q0", "issue")
+	reqLatch := p.ffHole("iq.req")
+
+	// --- Select sub-trees (one per half) ---
+	p.comp("iq.sel0", "issue")
+	sel0 := p.buildSelect("iq0", halves[0], p.allowThermo(p.fmapIQ[0]), p.fmapIQ[0])
+	p.comp("iq.sel1", "issue")
+	sel1 := p.buildSelect("iq1", halves[1], p.allowThermo(p.fmapIQ[1]), p.fmapIQ[1])
+	p.selLatch = [][]renamed{}
+	sel := [2][]selSlot{sel0, sel1}
+
+	// --- Broadcast/replay copies (privatized, Figure 6's LCC clones) ---
+	bc := [2][]broadcast{}
+	replayOwn := [2]netlist.NetID{}
+	for hf := 0; hf < 2; hf++ {
+		p.comp(fmt.Sprintf("iq.bc%d", hf), "issue")
+		// selected counts per half from the latched slot valids
+		v0 := make([]netlist.NetID, len(sel[0]))
+		for i, s := range sel[0] {
+			v0[i] = s.valid
+		}
+		v1 := make([]netlist.NetID, len(sel[1]))
+		for i, s := range sel[1] {
+			v1[i] = s.valid
+		}
+		ge0 := p.atLeast(v0) // ge0[j-1] = count0 >= j
+		ge1 := p.atLeast(v1)
+		// total > allowed? allowed = Ways - disabled. Overflow iff exists
+		// j: count0 >= j AND count1 >= (allowed - j + 1)... build as OR over
+		// split points using thermometers and the disabled thermometer.
+		disGE := p.atLeast(p.fmapBE) // disGE[j-1] = disabled >= j
+		var overflowTerms []netlist.NetID
+		W := cfg.Ways
+		for c0 := 0; c0 <= len(v0); c0++ {
+			for c1 := 0; c1 <= len(v1); c1++ {
+				if c0+c1 == 0 {
+					continue
+				}
+				// term: count0 >= c0, count1 >= c1, allowed < c0+c1
+				// allowed < t  <=>  disabled > W - t  <=>  disabled >= W-t+1
+				t := c0 + c1
+				var parts []netlist.NetID
+				if c0 > 0 {
+					parts = append(parts, ge0[c0-1])
+				}
+				if c1 > 0 {
+					parts = append(parts, ge1[c1-1])
+				}
+				j := W - t + 1
+				if j > len(disGE) {
+					continue // disabled can never reach j
+				}
+				if j >= 1 {
+					parts = append(parts, disGE[j-1])
+				}
+				overflowTerms = append(overflowTerms, p.reduceAnd(parts))
+			}
+		}
+		overflow := p.reduceOr(overflowTerms)
+		// fewer half replays; tie replays the new half (1)
+		// count0 < count1  <=>  exists j: count1 >= j AND NOT count0 >= j
+		var lessTerms []netlist.NetID
+		for j := 1; j <= len(v1); j++ {
+			c0ge := p.tie0()
+			if j-1 < len(ge0) {
+				c0ge = ge0[j-1]
+			}
+			lessTerms = append(lessTerms, p.n.And(ge1[j-1], p.n.Not(c0ge)))
+		}
+		zeroLess := p.reduceOr(lessTerms) // count0 < count1
+		if hf == 0 {
+			replayOwn[0] = p.n.And(overflow, zeroLess)
+		} else {
+			replayOwn[1] = p.n.And(overflow, p.n.Not(zeroLess))
+		}
+		// broadcasts: all slots of both halves, gated by the (privately
+		// recomputed) replay decision for the slot's source half
+		repl0 := p.n.And(overflow, zeroLess)
+		repl1 := p.n.And(overflow, p.n.Not(zeroLess))
+		var bcs []broadcast
+		for _, s := range sel[0] {
+			bcs = append(bcs, broadcast{tag: s.dest, valid: p.n.And(s.valid, p.n.Not(repl0))})
+		}
+		for _, s := range sel[1] {
+			bcs = append(bcs, broadcast{tag: s.dest, valid: p.n.And(s.valid, p.n.Not(repl1))})
+		}
+		bc[hf] = bcs
+	}
+
+	// --- Per-half next-state: wakeup, issue-clear, compaction ---
+	for hf := 0; hf < 2; hf++ {
+		p.comp(fmt.Sprintf("iq.q%d", hf), "issue")
+		entries := halves[hf]
+		// post-wakeup, post-issue view of each entry
+		after := make([]entryVal, h)
+		for e := 0; e < h; e++ {
+			ent := entries[e]
+			m1 := p.wakeupMatch(ent.s1, bc[hf])
+			m2 := p.wakeupMatch(ent.s2, bc[hf])
+			issued := p.tie0()
+			for _, s := range sel[hf] {
+				issued = p.n.Or(issued, p.n.And(s.grant[e], p.n.Not(replayOwn[hf])))
+			}
+			after[e] = entryVal{
+				valid: p.n.And(ent.valid, p.n.Not(issued)),
+				rdy1:  p.n.Or(ent.rdy1, m1),
+				rdy2:  p.n.Or(ent.rdy2, m2),
+				s1:    ent.s1, s2: ent.s2, dest: ent.dest, op: ent.op,
+			}
+		}
+		// within-half compaction: shift toward entry 0 when a hole exists
+		// below (thermometer of holes strictly below e, within this half)
+		holeBelow := p.tie0()
+		next := make([]entryVal, h)
+		for e := 0; e < h; e++ {
+			if e > 0 {
+				holeBelow = p.n.Or(holeBelow, p.n.Not(after[e-1].valid))
+			}
+			src := after[e]
+			var shifted entryVal
+			if e+1 < h {
+				shifted = after[e+1]
+			} else {
+				// tail refill
+				if hf == 0 {
+					// Old half tail refills from the temporary latch slot 0.
+					// This is the paper's temp-latch wakeup logic: it reads
+					// only the temp latch and bc0 and writes only the old
+					// half, so ICI holds (Section 4.1.2).
+					shifted = temp[0].val(p)
+					shifted.valid = p.n.And(shifted.valid, reqLatch)
+					shifted.rdy1 = p.n.Or(shifted.rdy1, p.wakeupMatch(temp[0].s1, bc[0]))
+					shifted.rdy2 = p.n.Or(shifted.rdy2, p.wakeupMatch(temp[0].s2, bc[0]))
+				} else {
+					// new half tail inserts from rename output latch way 0
+					shifted = p.renamedVal(p.renamed[0])
+				}
+			}
+			next[e] = p.muxEntry(holeBelow, src, shifted)
+		}
+		for e := 0; e < h; e++ {
+			ent := entries[e]
+			p.drive(ent.valid, next[e].valid)
+			p.drive(ent.rdy1, next[e].rdy1)
+			p.drive(ent.rdy2, next[e].rdy2)
+			p.driveBus(ent.s1, next[e].s1)
+			p.driveBus(ent.s2, next[e].s2)
+			p.driveBus(ent.dest, next[e].dest)
+			p.driveBus(ent.op, next[e].op)
+		}
+		if hf == 0 {
+			// request more instructions when the old half has a hole
+			anyHole := p.tie0()
+			for e := 0; e < h; e++ {
+				anyHole = p.n.Or(anyHole, p.n.Not(after[e].valid))
+			}
+			p.drive(reqLatch, anyHole)
+		}
+	}
+
+	// temp latch capture: new half's head entries move in when the old
+	// half requested; wakeup updates applied from bc1 (the new half's copy)
+	p.comp("iq.q1", "issue")
+	for t := 0; t < cfg.TempSlots; t++ {
+		src := halves[1][t]
+		m1 := p.wakeupMatch(src.s1, bc[1])
+		m2 := p.wakeupMatch(src.s2, bc[1])
+		nv := entryVal{
+			valid: p.n.And(src.valid, reqLatch),
+			rdy1:  p.n.Or(src.rdy1, m1),
+			rdy2:  p.n.Or(src.rdy2, m2),
+			s1:    src.s1, s2: src.s2, dest: src.dest, op: src.op,
+		}
+		hold := temp[t].val(p)
+		v := p.muxEntry(reqLatch, hold, nv)
+		p.drive(temp[t].valid, v.valid)
+		p.drive(temp[t].rdy1, v.rdy1)
+		p.drive(temp[t].rdy2, v.rdy2)
+		p.driveBus(temp[t].s1, v.s1)
+		p.driveBus(temp[t].s2, v.s2)
+		p.driveBus(temp[t].dest, v.dest)
+		p.driveBus(temp[t].op, v.op)
+	}
+
+	p.stashSelection(sel[:])
+}
+
+// stashSelection records the latched selection slots for the routing stage.
+func (p *pipe) stashSelection(sel [][]selSlot) {
+	p.selLatch = nil
+	p.selValid = nil
+	for _, half := range sel {
+		var rs []renamed
+		var vs []netlist.NetID
+		for _, s := range half {
+			rs = append(rs, renamed{valid: s.valid, op: s.op, destTag: s.dest, src1Tag: s.s1, src2Tag: s.s2})
+			vs = append(vs, s.valid)
+		}
+		p.selLatch = append(p.selLatch, rs)
+		p.selValid = append(p.selValid, vs)
+	}
+}
+
+func (p *pipe) buildIssueBaseline() {
+	cfg := p.cfg
+	h := cfg.IQEntries / 2
+
+	// entries, tagged by half so the audit can ask the half-granularity
+	// isolation question the paper asks
+	var all []iqEntry
+	for hf := 0; hf < 2; hf++ {
+		p.comp(fmt.Sprintf("iq.q%d", hf), "issue")
+		for e := 0; e < h; e++ {
+			all = append(all, p.newEntryHoles(fmt.Sprintf("iq%d.e%d", hf, e)))
+		}
+	}
+
+	// one global select chain across the whole queue (the root combines
+	// halves within the cycle); latched slots live in iq.selroot
+	p.comp("iq.selroot", "issue")
+	sel := p.buildSelect("iq", all, p.allowThermo(netlist.InvalidNet), p.tie0())
+
+	// one shared broadcast block
+	p.comp("iq.bc", "issue")
+	var bcs []broadcast
+	for _, s := range sel {
+		bcs = append(bcs, broadcast{tag: s.dest, valid: s.valid})
+	}
+
+	// wakeup + issue-clear + global compaction (free-slot chain crosses
+	// the half boundary: the paper's violations (1) and (2))
+	after := make([]entryVal, len(all))
+	for e, ent := range all {
+		hf := 0
+		if e >= h {
+			hf = 1
+		}
+		p.comp(fmt.Sprintf("iq.q%d", hf), "issue")
+		m1 := p.wakeupMatch(ent.s1, bcs)
+		m2 := p.wakeupMatch(ent.s2, bcs)
+		issued := p.tie0()
+		for _, s := range sel {
+			issued = p.n.Or(issued, s.grant[e])
+		}
+		after[e] = entryVal{
+			valid: p.n.And(ent.valid, p.n.Not(issued)),
+			rdy1:  p.n.Or(ent.rdy1, m1),
+			rdy2:  p.n.Or(ent.rdy2, m2),
+			s1:    ent.s1, s2: ent.s2, dest: ent.dest, op: ent.op,
+		}
+	}
+	holeBelow := p.tie0()
+	for e, ent := range all {
+		hf := 0
+		if e >= h {
+			hf = 1
+		}
+		p.comp(fmt.Sprintf("iq.q%d", hf), "issue")
+		if e > 0 {
+			holeBelow = p.n.Or(holeBelow, p.n.Not(after[e-1].valid))
+		}
+		src := after[e]
+		var shifted entryVal
+		if e+1 < len(all) {
+			shifted = after[e+1] // crosses the half boundary at e = h-1
+		} else {
+			shifted = p.renamedVal(p.renamed[0])
+		}
+		next := p.muxEntry(holeBelow, src, shifted)
+		p.drive(ent.valid, next.valid)
+		p.drive(ent.rdy1, next.rdy1)
+		p.drive(ent.rdy2, next.rdy2)
+		p.driveBus(ent.s1, next.s1)
+		p.driveBus(ent.s2, next.s2)
+		p.driveBus(ent.dest, next.dest)
+		p.driveBus(ent.op, next.op)
+	}
+
+	p.stashSelection([][]selSlot{sel})
+}
+
+// buildIssueRouting adds the post-issue routing stage (Rescue) or a plain
+// issue latch (baseline). Rescue: backend way k has a privatized mux
+// controller choosing among the latched selection slots, skipping
+// fault-mapped backend ways.
+func (p *pipe) buildIssueRouting() {
+	cfg := p.cfg
+	// flatten slots
+	var slots []renamed
+	for _, half := range p.selLatch {
+		slots = append(slots, half...)
+	}
+	selW := 1
+	for 1<<uint(selW) < len(slots) {
+		selW++
+	}
+	for k := 0; k < cfg.Ways; k++ {
+		g := k / 2
+		var out renamed
+		if p.rescue {
+			p.comp(fmt.Sprintf("be%d.route%d", g, k), "issue")
+			// rank of this backend way among fault-free ways (privatized
+			// controller per way)
+			idx := p.constBus(0, selW)
+			for j := 0; j < k; j++ {
+				idx = p.inc(idx, p.n.Not(p.fmapBE[j]))
+			}
+			srcs := make([]Bus, len(slots))
+			pick := func(get func(renamed) Bus) Bus {
+				for i, s := range slots {
+					srcs[i] = get(s)
+				}
+				return p.muxTree(idx, srcs)
+			}
+			vsrc := make([]Bus, len(slots))
+			for i, s := range slots {
+				vsrc[i] = Bus{s.valid}
+			}
+			valid := p.muxTree(idx, vsrc)[0]
+			out.valid = p.n.And(valid, p.n.Not(p.fmapBE[k]))
+			out.op = pick(func(r renamed) Bus { return r.op })
+			out.destTag = pick(func(r renamed) Bus { return r.destTag })
+			out.src1Tag = pick(func(r renamed) Bus { return r.src1Tag })
+			out.src2Tag = pick(func(r renamed) Bus { return r.src2Tag })
+		} else {
+			// baseline: selection slot k feeds backend way k directly
+			p.comp("iq.selroot", "issue")
+			s := slots[k]
+			out.valid = p.n.Buf(s.valid)
+			out.op = s.op
+			out.destTag = s.destTag
+			out.src1Tag = s.src1Tag
+			out.src2Tag = s.src2Tag
+		}
+		pre := fmt.Sprintf("issue.i%d", k)
+		var q renamed
+		q.valid = p.n.AddFF(out.valid, pre+".valid.q")
+		q.op = p.regBus(out.op, pre+".op.q")
+		q.destTag = p.regBus(out.destTag, pre+".dest.q")
+		q.src1Tag = p.regBus(out.src1Tag, pre+".s1.q")
+		q.src2Tag = p.regBus(out.src2Tag, pre+".s2.q")
+		p.issued = append(p.issued, q)
+	}
+}

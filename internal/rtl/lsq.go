@@ -1,0 +1,155 @@
+package rtl
+
+import (
+	"fmt"
+
+	"rescue/internal/netlist"
+)
+
+// buildLSQ models the load/store queue (Section 4.7, Figure 7). The search
+// trees are pipelined into two cycles in both variants (the paper notes
+// they already are, because search takes as long as L1 access): cycle 1,
+// each of the two trees' sub-trees searches its half; cycle 2, each root
+// combines its own two sub-tree latches. Super-components: a half and the
+// sub-trees searching it form one; each root belongs to the backend way
+// that uses its tree.
+//
+// Insertion differs: Rescue privatizes the insertion logic per half with
+// redundant tail-pointer copies (ILA/ILB in Figure 7); the baseline keeps
+// one shared tail pointer whose logic feeds both halves — an ICI violation
+// at half granularity.
+func (p *pipe) buildLSQ() {
+	cfg := p.cfg
+	e := cfg.LSQEntries / 2
+	idxW := 1
+	for 1<<uint(idxW) < cfg.LSQEntries {
+		idxW++
+	}
+
+	// entry storage per half
+	type lsqEntry struct {
+		valid netlist.NetID
+		addr  Bus
+	}
+	entries := [2][]lsqEntry{}
+	for hf := 0; hf < 2; hf++ {
+		p.comp(fmt.Sprintf("lsq.q%d", hf), "memory")
+		for i := 0; i < e; i++ {
+			entries[hf] = append(entries[hf], lsqEntry{
+				valid: p.ffHole(fmt.Sprintf("lsq%d.e%d.valid", hf, i)),
+				addr:  p.ffHoleBus(fmt.Sprintf("lsq%d.e%d.addr", hf, i), cfg.AddrW),
+			})
+		}
+	}
+
+	// store insertion: address from the first executing way, "is store"
+	// proxy from the issued opcode. Each insertion-logic copy recomputes
+	// the store signal privately from the pipeline latches (privatization:
+	// no shared decode logic between the halves).
+	insAddr := p.exOut[0][:cfg.AddrW]
+
+	// mine[hf][i] = entry i of half hf captures the new store this cycle
+	var mine [2][]netlist.NetID
+	buildIns := func(comp string, serves []int) {
+		p.comp(comp, "memory")
+		isStore := p.n.And(p.findFF("ex.i0.valid"),
+			p.findFF(fmt.Sprintf("issue.i0.op.q[%d]", cfg.OpW-1)))
+		tail := p.ffHoleBus(comp+".tail", idxW)
+		p.driveBus(tail, p.inc(tail, isStore))
+		dec := p.decode(tail)
+		for _, hf := range serves {
+			mine[hf] = make([]netlist.NetID, e)
+			for i := 0; i < e; i++ {
+				slot := hf*e + i
+				en := p.n.And(isStore, dec[slot])
+				if p.rescue {
+					// if the other half is fault-mapped, this half takes
+					// every insertion: reduced-size operation
+					other := p.fmapLSQ[1-hf]
+					alt := p.n.And(isStore, dec[(slot+e)%cfg.LSQEntries])
+					en = p.n.Or(en, p.n.And(other, alt))
+					en = p.n.And(en, p.n.Not(p.fmapLSQ[hf]))
+				}
+				mine[hf][i] = en
+			}
+		}
+	}
+	if p.rescue {
+		buildIns("lsq.ins0", []int{0})
+		buildIns("lsq.ins1", []int{1})
+	} else {
+		buildIns("lsq.ins", []int{0, 1})
+	}
+
+	// entry next-state
+	for hf := 0; hf < 2; hf++ {
+		p.comp(fmt.Sprintf("lsq.q%d", hf), "memory")
+		for i := 0; i < e; i++ {
+			ent := entries[hf][i]
+			p.drive(ent.valid, p.n.Or(ent.valid, mine[hf][i]))
+			p.driveBus(ent.addr, p.muxBus(mine[hf][i], ent.addr, insAddr))
+		}
+	}
+
+	// search trees: tree A serves backend group 0, tree B group 1
+	keyA := p.exOut[0][:cfg.AddrW]
+	keyB := p.exOut[cfg.Ways/2][:cfg.AddrW]
+	subW := idxW - 1
+	if subW < 1 {
+		subW = 1
+	}
+	type subResult struct {
+		found netlist.NetID
+		idx   Bus
+	}
+	buildSub := func(tree string, hf int, key Bus) subResult {
+		p.comp(fmt.Sprintf("lsq.sub%s%d", tree, hf), "memory")
+		matches := make([]netlist.NetID, e)
+		for i := 0; i < e; i++ {
+			matches[i] = p.n.And(entries[hf][i].valid, p.eq(entries[hf][i].addr, key))
+		}
+		grants, any := p.priorityGrant(matches)
+		// encode the grant index
+		idx := make(Bus, subW)
+		for bit := 0; bit < subW; bit++ {
+			var terms []netlist.NetID
+			for i := 0; i < e; i++ {
+				if i&(1<<uint(bit)) != 0 {
+					terms = append(terms, grants[i])
+				}
+			}
+			if len(terms) == 0 {
+				idx[bit] = p.n.Const(false)
+			} else {
+				idx[bit] = p.reduceOr(terms)
+			}
+		}
+		pre := fmt.Sprintf("lsq.sub%s%d", tree, hf)
+		return subResult{
+			found: p.n.AddFF(any, pre+".found"),
+			idx:   p.regBus(idx, pre+".idx"),
+		}
+	}
+	buildRoot := func(tree string, s0, s1 subResult) {
+		p.comp(fmt.Sprintf("lsq.root%s", tree), "memory")
+		f0 := s0.found
+		f1 := s1.found
+		if p.rescue {
+			// root masks results from a fault-mapped half (Section 4.7)
+			f0 = p.n.And(f0, p.n.Not(p.fmapLSQ[0]))
+			f1 = p.n.And(f1, p.n.Not(p.fmapLSQ[1]))
+		}
+		found := p.n.Or(f0, f1)
+		idx := p.muxBus(f1, s0.idx, s1.idx) // prefer half1 hit arbitrarily
+		half := p.n.Buf(f1)
+		p.n.Output(found, fmt.Sprintf("lsq.res%s.found", tree))
+		p.n.Output(half, fmt.Sprintf("lsq.res%s.half", tree))
+		p.outputBus(idx, fmt.Sprintf("lsq.res%s.idx", tree))
+	}
+	a0 := buildSub("A", 0, keyA)
+	a1 := buildSub("A", 1, keyA)
+	b0 := buildSub("B", 0, keyB)
+	b1 := buildSub("B", 1, keyB)
+	buildRoot("A", a0, a1)
+	buildRoot("B", b0, b1)
+}

@@ -1,0 +1,153 @@
+package rtl
+
+import (
+	"fmt"
+	"testing"
+
+	"rescue/internal/netlist"
+)
+
+// lsqFixture builds the small Rescue design and returns a fresh state.
+func lsqFixture(t *testing.T) (*Design, *netlist.State) {
+	t.Helper()
+	d, err := Build(Small(), RescueDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, d.N.NewState()
+}
+
+// driveSearchKey puts an address into exec way 0's output latch (the LSQ
+// search key for tree A) and a matching entry into an LSQ half.
+func driveSearchKey(t *testing.T, d *Design, s *netlist.State, half, entry int, addr uint64) {
+	t.Helper()
+	cfg := d.Cfg
+	for b := 0; b < cfg.AddrW; b++ {
+		bit := addr&(1<<uint(b)) != 0
+		s.SetBool(findFFQ(t, d.N, fmt.Sprintf("ex.i0.res[%d]", b)), bit)
+		s.SetBool(findFFQ(t, d.N, fmt.Sprintf("lsq%d.e%d.addr[%d]", half, entry, b)), bit)
+	}
+	s.SetBool(findFFQ(t, d.N, fmt.Sprintf("lsq%d.e%d.valid", half, entry)), true)
+}
+
+// searchResultA runs the two-cycle pipelined search and returns tree A's
+// root outputs (found, half).
+func searchResultA(t *testing.T, d *Design, s *netlist.State) (bool, bool) {
+	t.Helper()
+	// cycle 1: sub-trees search and latch
+	s.Cycle(netlist.NoFault)
+	// cycle 2: roots combine the latched sub-results
+	s.EvalComb(netlist.NoFault)
+	var found, half bool
+	for _, out := range d.N.Outputs {
+		switch d.N.NetName(out) {
+		case "lsq.resA.found":
+			found = s.Get(out)&1 != 0
+		case "lsq.resA.half":
+			half = s.Get(out)&1 != 0
+		}
+	}
+	return found, half
+}
+
+func TestLSQSearchFindsMatch(t *testing.T) {
+	d, s := lsqFixture(t)
+	driveSearchKey(t, d, s, 0, 1, 0xA)
+	found, half := searchResultA(t, d, s)
+	if !found {
+		t.Fatal("matching entry not found by tree A")
+	}
+	if half {
+		t.Fatal("match reported in half 1, planted in half 0")
+	}
+}
+
+func TestLSQSearchMissesOnDifferentAddr(t *testing.T) {
+	d, s := lsqFixture(t)
+	driveSearchKey(t, d, s, 0, 1, 0xA)
+	// change the key after planting: flip one exec bit
+	s.SetBool(findFFQ(t, d.N, "ex.i0.res[0]"), false)
+	s.SetBool(findFFQ(t, d.N, "lsq0.e1.addr[0]"), true)
+	found, _ := searchResultA(t, d, s)
+	if found {
+		t.Fatal("search hit with mismatched address")
+	}
+}
+
+func TestLSQRootMasksFaultyHalf(t *testing.T) {
+	d, s := lsqFixture(t)
+	driveSearchKey(t, d, s, 0, 1, 0xA)
+	// fault-map LSQ half 0: the root must ignore its sub-tree result.
+	// Drive both the register and its (normally fuse-driven) input so the
+	// setting survives the search's capture cycle.
+	s.SetBool(findFFQ(t, d.N, "fmap.lsq.q[0]"), true)
+	setInput(t, d.N, s, "fmap.lsq[0]", true)
+	found, _ := searchResultA(t, d, s)
+	if found {
+		t.Fatal("root did not mask the fault-mapped half's sub-tree")
+	}
+}
+
+func TestLSQHalf1MatchReported(t *testing.T) {
+	d, s := lsqFixture(t)
+	driveSearchKey(t, d, s, 1, 0, 0x6)
+	found, half := searchResultA(t, d, s)
+	if !found || !half {
+		t.Fatalf("half-1 match: found=%v half=%v", found, half)
+	}
+}
+
+// TestRenameForwardsNewerMapping drives the cycle-split rename: way 1's
+// source matches way 0's destination in the split latch, so way 1 must take
+// way 0's allocated tag instead of the (stale) table read.
+func TestRenameForwardsNewerMapping(t *testing.T) {
+	d, s := lsqFixture(t)
+	cfg := d.Cfg
+	// in the cycle-split latch: way 0 defines arch reg 5 with alloc tag 9;
+	// way 1 reads arch reg 5, its table read says tag 2
+	setBus := func(name string, w int, v uint64) {
+		for b := 0; b < w; b++ {
+			s.SetBool(findFFQ(t, d.N, fmt.Sprintf("%s[%d]", name, b)), v&(1<<uint(b)) != 0)
+		}
+	}
+	s.SetBool(findFFQ(t, d.N, "ren1.i0.valid.q"), true)
+	setBus("ren1.i0.dest.q", cfg.ArchW, 5)
+	setBus("ren1.i0.alloc.q", cfg.TagW, 9)
+	s.SetBool(findFFQ(t, d.N, "ren1.i1.valid.q"), true)
+	setBus("ren1.i1.src1.q", cfg.ArchW, 5)
+	setBus("ren1.i1.t1.q", cfg.TagW, 2)
+	s.EvalComb(netlist.NoFault)
+	// way 1's renamed src1 tag (D of the rename output latch) must be 9
+	var got uint64
+	for b := 0; b < cfg.TagW; b++ {
+		if s.Get(findFFD(t, d.N, fmt.Sprintf("ren2.i1.s1.q[%d]", b)))&1 != 0 {
+			got |= 1 << uint(b)
+		}
+	}
+	if got != 9 {
+		t.Fatalf("forwarded tag = %d, want 9", got)
+	}
+	// and with way 0 fault-mapped, the match must be ignored (tag 2)
+	s2 := d.N.NewState()
+	s2.SetBool(findFFQ(t, d.N, "fmap.fe.q[0]"), true)
+	s2.SetBool(findFFQ(t, d.N, "ren1.i0.valid.q"), true)
+	for b := 0; b < cfg.ArchW; b++ {
+		s2.SetBool(findFFQ(t, d.N, fmt.Sprintf("ren1.i0.dest.q[%d]", b)), 5&(1<<uint(b)) != 0)
+		s2.SetBool(findFFQ(t, d.N, fmt.Sprintf("ren1.i1.src1.q[%d]", b)), 5&(1<<uint(b)) != 0)
+	}
+	for b := 0; b < cfg.TagW; b++ {
+		s2.SetBool(findFFQ(t, d.N, fmt.Sprintf("ren1.i0.alloc.q[%d]", b)), 9&(1<<uint(b)) != 0)
+		s2.SetBool(findFFQ(t, d.N, fmt.Sprintf("ren1.i1.t1.q[%d]", b)), 2&(1<<uint(b)) != 0)
+	}
+	s2.SetBool(findFFQ(t, d.N, "ren1.i1.valid.q"), true)
+	s2.EvalComb(netlist.NoFault)
+	got = 0
+	for b := 0; b < cfg.TagW; b++ {
+		if s2.Get(findFFD(t, d.N, fmt.Sprintf("ren2.i1.s1.q[%d]", b)))&1 != 0 {
+			got |= 1 << uint(b)
+		}
+	}
+	if got != 2 {
+		t.Fatalf("fault-masked rename forwarded tag = %d, want table value 2", got)
+	}
+}

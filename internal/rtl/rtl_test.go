@@ -1,0 +1,135 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"rescue/internal/ici"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.Ways = 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("odd Ways must fail")
+	}
+	bad = Default()
+	bad.IQEntries = 15
+	if err := bad.Validate(); err == nil {
+		t.Fatal("odd IQEntries must fail")
+	}
+	bad = Default()
+	bad.TempSlots = 100
+	if err := bad.Validate(); err == nil {
+		t.Fatal("oversized TempSlots must fail")
+	}
+}
+
+func TestBuildBothVariants(t *testing.T) {
+	for _, cfg := range []Config{Small(), Default()} {
+		for _, v := range []Variant{Baseline, RescueDesign} {
+			d, err := Build(cfg, v)
+			if err != nil {
+				t.Fatalf("%v/%+v: %v", v, cfg, err)
+			}
+			st := d.N.Stats()
+			if st.Gates < 500 {
+				t.Errorf("%v: suspiciously small netlist: %d gates", v, st.Gates)
+			}
+			if st.FFs < 100 {
+				t.Errorf("%v: too few FFs: %d", v, st.FFs)
+			}
+			t.Logf("%v %dway: %d gates, %d FFs, %d nets, %d comps",
+				v, cfg.Ways, st.Gates, st.FFs, st.Nets, d.N.NumComps())
+		}
+	}
+}
+
+func TestRescueAuditClean(t *testing.T) {
+	d, err := Build(Small(), RescueDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ici.Audit(d.N, d.Grouping)
+	if !res.OK() {
+		for _, v := range res.Violations[:min(10, len(res.Violations))] {
+			t.Errorf("obs %d spans %v", v.Obs, v.Supers)
+		}
+		t.Fatalf("rescue design has %d ICI violations", len(res.Violations))
+	}
+}
+
+func TestBaselineAuditViolates(t *testing.T) {
+	d, err := Build(Small(), Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ici.Audit(d.N, d.Grouping)
+	if res.OK() {
+		t.Fatal("baseline design unexpectedly satisfies ICI at map-out granularity")
+	}
+	// the violations must include the issue queue (compaction/select
+	// crossing halves) and rename (shared map table)
+	sawIQ, sawRename := false, false
+	for _, v := range res.Violations {
+		for _, s := range v.Supers {
+			if strings.HasPrefix(s, "IQ") || strings.HasPrefix(s, "iq.") {
+				sawIQ = true
+			}
+			if strings.HasPrefix(s, "fe.rt") || strings.HasPrefix(s, "fe.fix") || strings.HasPrefix(s, "fe.free") {
+				sawRename = true
+			}
+		}
+	}
+	if !sawIQ {
+		t.Error("expected issue-queue ICI violations in baseline")
+	}
+	if !sawRename {
+		t.Error("expected rename ICI violations in baseline")
+	}
+}
+
+func TestRescueSuperComponents(t *testing.T) {
+	d, err := Build(Small(), RescueDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supers := map[string]bool{}
+	for _, s := range d.SuperComponents() {
+		supers[s] = true
+	}
+	for _, want := range []string{"FE0", "IQ0", "IQ1", "LSQ0", "LSQ1", "BE0", "CHIPKILL"} {
+		if !supers[want] {
+			t.Errorf("missing super-component %s (have %v)", want, d.SuperComponents())
+		}
+	}
+}
+
+func TestStageOfCompCoversAllComponents(t *testing.T) {
+	d, err := Build(Small(), RescueDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range d.N.ComponentsUsed() {
+		if comp == "<anon>" {
+			t.Errorf("gates left in the anonymous component")
+			continue
+		}
+		if _, ok := d.StageOfComp[comp]; !ok {
+			t.Errorf("component %s has no stage mapping", comp)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rescue/internal/netlist"
+)
+
+func buildNFFs(n int) *netlist.Netlist {
+	nl := netlist.New("ffs")
+	in := nl.Input("in")
+	cur := in
+	for i := 0; i < n; i++ {
+		cur = nl.AddFF(cur, "q")
+	}
+	nl.Output(cur, "o")
+	return nl
+}
+
+func TestChainBalancing(t *testing.T) {
+	cases := []struct {
+		ffs, chains, wantLen int
+	}{
+		{10, 1, 10},
+		{10, 2, 5},
+		{10, 3, 4},
+		{10, 4, 3},
+		{1, 4, 1},
+	}
+	for _, c := range cases {
+		ch, err := Insert(buildNFFs(c.ffs), c.chains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ch.ChainLength(); got != c.wantLen {
+			t.Errorf("%d FFs / %d chains: length %d, want %d", c.ffs, c.chains, got, c.wantLen)
+		}
+	}
+}
+
+// Property: chain cells across all physical chains cover every FF once.
+func TestChainCoverageProperty(t *testing.T) {
+	f := func(ffs8, chains4 uint8) bool {
+		ffs := 1 + int(ffs8%40)
+		chains := 1 + int(chains4%6)
+		ch, err := Insert(buildNFFs(ffs), chains)
+		if err != nil {
+			return false
+		}
+		seen := map[netlist.FFID]int{}
+		for k := 0; k < chains; k++ {
+			for _, ff := range ch.chainCells(k) {
+				seen[ff]++
+			}
+		}
+		if len(seen) != ffs {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more chains never increase test cycles for the same vectors.
+func TestMoreChainsFasterProperty(t *testing.T) {
+	f := func(ffs8 uint8) bool {
+		ffs := 2 + int(ffs8%60)
+		n := buildNFFs(ffs)
+		c1, _ := Insert(n, 1)
+		c4, _ := Insert(n, 4)
+		return c4.TestCycles(100) <= c1.TestCycles(100)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternLaneMask(t *testing.T) {
+	n := buildNFFs(3)
+	c, _ := Insert(n, 1)
+	p := c.NewPattern(5)
+	if p.LaneMask() != 0b11111 {
+		t.Fatalf("mask = %b", p.LaneMask())
+	}
+	p64 := c.NewPattern(64)
+	if p64.LaneMask() != ^uint64(0) {
+		t.Fatal("full mask")
+	}
+}

@@ -1,0 +1,170 @@
+// Package scan models conventional scan-chain design-for-test (DFT) as
+// described in Section 2 of the Rescue paper: every flip-flop is replaced by
+// a multiplexed-flip-flop scan cell, all cells are stitched into shift
+// registers, and testing proceeds as scan-in → one functional capture cycle
+// → scan-out.
+//
+// The package works on top of netlist.Netlist. Rather than physically
+// rewriting the netlist with scan muxes (which would pollute the fault
+// universe with DFT gates the paper counts as chipkill), a Chain keeps the
+// stitching order and provides shift/capture semantics over a
+// netlist.State. This matches the paper's accounting: scan-cell area is
+// charged as chipkill, and ATPG treats FF Qs as pseudo-primary inputs and
+// FF Ds as pseudo-primary outputs.
+package scan
+
+import (
+	"fmt"
+
+	"rescue/internal/netlist"
+)
+
+// Chain is an ordered set of scan cells covering every FF of a netlist.
+// Cells are split across NumChains physical chains of balanced length, as
+// real testers drive several chains in parallel; cycle accounting uses the
+// longest chain.
+type Chain struct {
+	N         *netlist.Netlist
+	Order     []netlist.FFID // scan stitch order: Order[0] is nearest scan-in
+	NumChains int
+}
+
+// Insert builds a scan chain over all FFs of n, stitched in FF creation
+// order (the order a DFT tool would get from the synthesized netlist), and
+// balanced across numChains physical chains.
+func Insert(n *netlist.Netlist, numChains int) (*Chain, error) {
+	if numChains < 1 {
+		return nil, fmt.Errorf("scan: numChains must be >= 1, got %d", numChains)
+	}
+	if n.NumFFs() == 0 {
+		return nil, fmt.Errorf("scan: netlist %s has no flip-flops", n.Name)
+	}
+	order := make([]netlist.FFID, n.NumFFs())
+	for i := range order {
+		order[i] = netlist.FFID(i)
+	}
+	return &Chain{N: n, Order: order, NumChains: numChains}, nil
+}
+
+// Cells reports the total number of scan cells.
+func (c *Chain) Cells() int { return len(c.Order) }
+
+// ChainLength reports the length of the longest physical chain — the number
+// of shift cycles needed for a full scan-in or scan-out.
+func (c *Chain) ChainLength() int {
+	return (len(c.Order) + c.NumChains - 1) / c.NumChains
+}
+
+// Pattern is a single scan test: the state to load into every scan cell
+// (indexed by FFID), and values for the primary inputs, all 64-lane words
+// so 64 patterns pack into one Pattern... but by convention a Pattern holds
+// exactly the lanes its producer filled; Lanes records how many are valid.
+type Pattern struct {
+	FFVals []uint64 // per-FF 64-lane scan-in words
+	PIVals []uint64 // per-primary-input 64-lane words
+	Lanes  int      // number of valid lanes (1..64)
+}
+
+// NewPattern allocates an all-zero pattern for the chain's netlist.
+func (c *Chain) NewPattern(lanes int) *Pattern {
+	return &Pattern{
+		FFVals: make([]uint64, c.N.NumFFs()),
+		PIVals: make([]uint64, len(c.N.Inputs)),
+		Lanes:  lanes,
+	}
+}
+
+// LaneMask returns a word with the pattern's valid lanes set.
+func (p *Pattern) LaneMask() uint64 {
+	if p.Lanes >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(p.Lanes)) - 1
+}
+
+// Load applies a pattern to a state as the end product of scan-in: every FF
+// Q takes its scan word and every primary input is driven.
+func (c *Chain) Load(s *netlist.State, p *Pattern) {
+	for fi := 0; fi < c.N.NumFFs(); fi++ {
+		s.Set(c.N.FFs[fi].Q, p.FFVals[fi])
+	}
+	for i, in := range c.N.Inputs {
+		s.Set(in, p.PIVals[i])
+	}
+}
+
+// Capture runs the single functional capture cycle of a scan test with
+// fault f injected (netlist.NoFault for the good machine) and returns the
+// observed response: the post-capture FF contents (what scan-out shifts
+// out) followed by the primary-output values, one 64-lane word per
+// observation point, indexed identically to netlist.ObsPoints.
+func (c *Chain) Capture(s *netlist.State, f netlist.Fault) []uint64 {
+	s.EvalComb(f)
+	resp := make([]uint64, c.N.NumFFs()+len(c.N.Outputs))
+	for oi, out := range c.N.Outputs {
+		resp[c.N.NumFFs()+oi] = s.Get(out)
+	}
+	s.CaptureFFs(f)
+	for fi := 0; fi < c.N.NumFFs(); fi++ {
+		resp[fi] = s.Get(c.N.FFs[fi].Q)
+	}
+	return resp
+}
+
+// ApplyTest performs a complete scan test of one pattern: load, capture,
+// and returns the response words.
+func (c *Chain) ApplyTest(p *Pattern, f netlist.Fault) []uint64 {
+	s := c.N.NewState()
+	c.Load(s, p)
+	return c.Capture(s, f)
+}
+
+// ShiftRegisterModel simulates the physical shift operation bit by bit for
+// a single lane, returning the bit sequence observed at the scan-out pin of
+// chain 0 while scanning out (oldest first). It exists to validate that the
+// abstract Load/Capture semantics equal real shifting; heavy lifting uses
+// Load/Capture directly.
+func (c *Chain) ShiftRegisterModel(ffBits []bool) []bool {
+	cells := c.chainCells(0)
+	// contents indexed along the chain; scan-out emits the cell nearest the
+	// scan-out pin first, i.e. the LAST cell in stitch order.
+	contents := make([]bool, len(cells))
+	for i, ff := range cells {
+		contents[i] = ffBits[ff]
+	}
+	out := make([]bool, 0, len(cells))
+	for shift := 0; shift < len(cells); shift++ {
+		out = append(out, contents[len(contents)-1])
+		copy(contents[1:], contents[:len(contents)-1])
+		contents[0] = false
+	}
+	return out
+}
+
+// chainCells returns the FFs assigned to physical chain k, in stitch order.
+func (c *Chain) chainCells(k int) []netlist.FFID {
+	var out []netlist.FFID
+	for i, ff := range c.Order {
+		if i%c.NumChains == k {
+			out = append(out, ff)
+		}
+	}
+	return out
+}
+
+// TestCycles reports the tester cycle count for applying nvec scan vectors:
+// scan-in/scan-out overlap in steady state, so the cost is
+// (nvec+1)*chainLength + nvec capture cycles. This is the quantity Table 3
+// of the paper reports as "cycles".
+func (c *Chain) TestCycles(nvec int) int {
+	return (nvec+1)*c.ChainLength() + nvec
+}
+
+// BitComp maps each observation-point index (FF scan bits, then primary
+// outputs) to the set of ICI components whose logic feeds it within the
+// capture cycle. For an ICI-compliant design every entry has length <= 1
+// after super-component grouping; the map is the paper's "single lookup"
+// table from failing scan-chain bit index to faulty component.
+func (c *Chain) BitComp() [][]netlist.CompID {
+	return c.N.FanInComps()
+}

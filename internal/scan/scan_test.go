@@ -1,0 +1,174 @@
+package scan
+
+import (
+	"testing"
+
+	"rescue/internal/netlist"
+)
+
+// buildPipe makes the paper's Figure 2b pipeline: LCM -> SRS -> {LCX,LCY} ->
+// SRT -> LCN, returning the netlist.
+func buildPipe() *netlist.Netlist {
+	n := netlist.New("fig2b")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Component("LCM")
+	m := n.Nand(a, b)
+	srs := n.AddFF(m, "SRS")
+	n.Component("LCX")
+	x := n.Xor(srs, a)
+	n.Component("LCY")
+	y := n.Or(srs, b)
+	n.Component("SRT")
+	sx := n.AddFF(x, "SRT.x")
+	sy := n.AddFF(y, "SRT.y")
+	n.Component("LCN")
+	o := n.And(sx, sy)
+	n.Output(o, "out")
+	return n
+}
+
+func TestInsertBasics(t *testing.T) {
+	n := buildPipe()
+	c, err := Insert(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cells() != 3 {
+		t.Fatalf("cells = %d, want 3", c.Cells())
+	}
+	if c.ChainLength() != 3 {
+		t.Fatalf("chain length = %d, want 3", c.ChainLength())
+	}
+	c2, err := Insert(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.ChainLength() != 2 {
+		t.Fatalf("2-chain length = %d, want 2", c2.ChainLength())
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	n := netlist.New("comb")
+	a := n.Input("a")
+	n.Output(n.Not(a), "o")
+	if _, err := Insert(n, 1); err == nil {
+		t.Fatal("expected error for FF-less netlist")
+	}
+	n2 := buildPipe()
+	if _, err := Insert(n2, 0); err == nil {
+		t.Fatal("expected error for zero chains")
+	}
+}
+
+func TestApplyTestGoodMachine(t *testing.T) {
+	n := buildPipe()
+	c, err := Insert(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.NewPattern(1)
+	// scan in SRS=1; drive a=1 b=0
+	p.FFVals[0] = 1
+	p.PIVals[0] = 1
+	p.PIVals[1] = 0
+	resp := c.ApplyTest(p, netlist.NoFault)
+	// LCX = XOR(SRS=1, a=1) = 0 -> SRT.x ; LCY = OR(SRS=1, b=0) = 1 -> SRT.y
+	// SRS captures NAND(1,0)=1 ; out = AND(old SRT.x=0, old SRT.y=0) = 0
+	if resp[0]&1 != 1 { // SRS
+		t.Errorf("SRS captured %d, want 1", resp[0]&1)
+	}
+	if resp[1]&1 != 0 { // SRT.x
+		t.Errorf("SRT.x captured %d, want 0", resp[1]&1)
+	}
+	if resp[2]&1 != 1 { // SRT.y
+		t.Errorf("SRT.y captured %d, want 1", resp[2]&1)
+	}
+	if resp[3]&1 != 0 { // primary out
+		t.Errorf("out = %d, want 0", resp[3]&1)
+	}
+}
+
+func TestFaultChangesResponse(t *testing.T) {
+	n := buildPipe()
+	c, _ := Insert(n, 1)
+	p := c.NewPattern(1)
+	p.FFVals[0] = 1 // SRS = 1
+	p.PIVals[0] = 1 // a = 1
+	good := c.ApplyTest(p, netlist.NoFault)
+	// fault: LCX XOR gate output stuck-at-1 (gate index 1: NAND=0, XOR=1)
+	f := netlist.Fault{Gate: 1, FF: -1, Pin: -1, StuckAt1: true}
+	bad := c.ApplyTest(p, f)
+	if good[1] == bad[1] {
+		t.Fatal("XOR sa1 should flip SRT.x capture")
+	}
+	// only SRT.x may differ — fault is inside LCX, ICI holds
+	for i := range good {
+		if i != 1 && good[i] != bad[i] {
+			t.Errorf("obs point %d differs but is outside LCX cone", i)
+		}
+	}
+}
+
+func TestShiftRegisterModelMatchesLoad(t *testing.T) {
+	n := buildPipe()
+	c, _ := Insert(n, 1)
+	bits := []bool{true, false, true}
+	out := c.ShiftRegisterModel(bits)
+	// scan-out emits last stitched cell first: SRT.y, SRT.x, SRS
+	want := []bool{bits[2], bits[1], bits[0]}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("shift out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestTestCycles(t *testing.T) {
+	n := buildPipe()
+	c, _ := Insert(n, 1)
+	// 3-cell chain, 10 vectors: 11 shifts of 3 + 10 captures
+	if got := c.TestCycles(10); got != 11*3+10 {
+		t.Fatalf("TestCycles(10) = %d", got)
+	}
+}
+
+func TestBitCompIsolationTable(t *testing.T) {
+	n := buildPipe()
+	c, _ := Insert(n, 1)
+	bc := c.BitComp()
+	// every observation point fed by exactly one component: ICI holds
+	for i, comps := range bc {
+		if len(comps) != 1 {
+			t.Errorf("obs %d fed by %d components, want 1", i, len(comps))
+		}
+	}
+	if n.CompName(bc[0][0]) != "LCM" {
+		t.Errorf("SRS bit maps to %s, want LCM", n.CompName(bc[0][0]))
+	}
+	if n.CompName(bc[1][0]) != "LCX" {
+		t.Errorf("SRT.x bit maps to %s, want LCX", n.CompName(bc[1][0]))
+	}
+}
+
+// ICI violation demo from Section 3.1: if LCY also reads LCX's output, the
+// SRT.y bit's fan-in contains both LCX and LCY and isolation is lost.
+func TestBitCompViolation(t *testing.T) {
+	n := netlist.New("violation")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Component("LCX")
+	x := n.Xor(a, b)
+	n.Component("LCY")
+	y := n.Or(x, b) // reads LCX output inside the cycle: ICI violation
+	n.Component("SRT")
+	n.AddFF(x, "SRT.x")
+	n.AddFF(y, "SRT.y")
+	n.Output(y, "o")
+	c, _ := Insert(n, 1)
+	bc := c.BitComp()
+	if len(bc[1]) < 2 {
+		t.Fatalf("SRT.y fan-in = %d comps, want >=2 (violation)", len(bc[1]))
+	}
+}

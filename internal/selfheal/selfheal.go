@@ -1,0 +1,118 @@
+// Package selfheal implements self-healing array structures in the style
+// of Bower et al. (DSN 2004), which the Rescue paper's related-work section
+// proposes as a complement: RAM-like microarchitectural arrays (BTB, active
+// list, predictor tables) that detect and avoid defective entries at run
+// time instead of killing the core. Rescue leaves these structures in its
+// chipkill bucket; combining the two shrinks chipkill and raises
+// yield-adjusted throughput further (see BenchmarkAblationSelfHeal).
+//
+// The model is deliberately simple and matches the cited mechanism: each
+// entry carries a defect flag (set by a background check-on-write/read
+// mechanism); accesses to defective entries behave as misses/invalid and
+// allocation skips them, so a faulty array degrades in capacity rather
+// than correctness.
+package selfheal
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Array is a self-healing indexed structure: a fault map over entries plus
+// optional spare entries that transparently replace the first faulty ones.
+type Array struct {
+	n      int
+	faulty []bool
+	spares int
+	remap  map[int]int // faulty index -> spare index (0..spares-1)
+	nextSp int
+
+	// Stats
+	Accesses, Avoided, Remapped int64
+}
+
+// New creates an array of n entries with the given number of spares.
+func New(n, spares int) (*Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("selfheal: need at least one entry")
+	}
+	if spares < 0 {
+		return nil, fmt.Errorf("selfheal: negative spares")
+	}
+	return &Array{n: n, faulty: make([]bool, n), spares: spares, remap: map[int]int{}}, nil
+}
+
+// Size returns the nominal entry count.
+func (a *Array) Size() int { return a.n }
+
+// MarkFaulty records a defective entry (as the run-time checker would).
+// If a spare is available it is assigned; otherwise the entry is avoided.
+func (a *Array) MarkFaulty(i int) error {
+	if i < 0 || i >= a.n {
+		return fmt.Errorf("selfheal: index %d out of range", i)
+	}
+	if a.faulty[i] {
+		return nil
+	}
+	a.faulty[i] = true
+	if a.nextSp < a.spares {
+		a.remap[i] = a.nextSp
+		a.nextSp++
+	}
+	return nil
+}
+
+// InjectRandom marks a fraction of entries faulty, deterministically.
+func (a *Array) InjectRandom(frac float64, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < a.n; i++ {
+		if r.Float64() < frac {
+			_ = a.MarkFaulty(i)
+		}
+	}
+}
+
+// Usable reports whether entry i can hold data: fault-free, or remapped to
+// a spare. Callers treat unusable entries as invalid/miss and skip them on
+// allocation — the detect-and-avoid discipline.
+func (a *Array) Usable(i int) bool {
+	a.Accesses++
+	if !a.faulty[i] {
+		return true
+	}
+	if _, ok := a.remap[i]; ok {
+		a.Remapped++
+		return true
+	}
+	a.Avoided++
+	return false
+}
+
+// EffectiveCapacity returns the number of usable entries.
+func (a *Array) EffectiveCapacity() int {
+	c := 0
+	for i := 0; i < a.n; i++ {
+		if !a.faulty[i] {
+			c++
+			continue
+		}
+		if _, ok := a.remap[i]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// FaultyCount returns the number of marked entries.
+func (a *Array) FaultyCount() int {
+	c := 0
+	for _, f := range a.faulty {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// Alive reports whether the array retains any usable capacity at all.
+func (a *Array) Alive() bool { return a.EffectiveCapacity() > 0 }

@@ -1,0 +1,110 @@
+package selfheal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, 0); err == nil {
+		t.Fatal("zero entries must error")
+	}
+	if _, err := New(4, -1); err == nil {
+		t.Fatal("negative spares must error")
+	}
+}
+
+func TestMarkAndAvoid(t *testing.T) {
+	a, err := New(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Usable(3) {
+		t.Fatal("pristine entry must be usable")
+	}
+	if err := a.MarkFaulty(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.Usable(3) {
+		t.Fatal("faulty entry without spares must be avoided")
+	}
+	if a.EffectiveCapacity() != 7 {
+		t.Fatalf("capacity = %d", a.EffectiveCapacity())
+	}
+	if a.Avoided == 0 {
+		t.Fatal("avoidance not counted")
+	}
+	if err := a.MarkFaulty(99); err == nil {
+		t.Fatal("out of range must error")
+	}
+	// double mark is idempotent
+	if err := a.MarkFaulty(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.FaultyCount() != 1 {
+		t.Fatalf("faulty = %d", a.FaultyCount())
+	}
+}
+
+func TestSparesRestoreCapacity(t *testing.T) {
+	a, _ := New(8, 2)
+	a.MarkFaulty(1)
+	a.MarkFaulty(5)
+	if !a.Usable(1) || !a.Usable(5) {
+		t.Fatal("remapped entries must be usable")
+	}
+	if a.EffectiveCapacity() != 8 {
+		t.Fatalf("capacity = %d with spares", a.EffectiveCapacity())
+	}
+	// third fault exceeds the spares
+	a.MarkFaulty(6)
+	if a.Usable(6) {
+		t.Fatal("third fault must be avoided")
+	}
+	if a.EffectiveCapacity() != 7 {
+		t.Fatalf("capacity = %d", a.EffectiveCapacity())
+	}
+	if a.Remapped == 0 {
+		t.Fatal("remap not counted")
+	}
+}
+
+func TestInjectRandomDeterministic(t *testing.T) {
+	a, _ := New(256, 0)
+	b, _ := New(256, 0)
+	a.InjectRandom(0.25, 7)
+	b.InjectRandom(0.25, 7)
+	if a.FaultyCount() != b.FaultyCount() {
+		t.Fatal("injection not deterministic")
+	}
+	if a.FaultyCount() < 30 || a.FaultyCount() > 100 {
+		t.Fatalf("injection count %d implausible for 25%% of 256", a.FaultyCount())
+	}
+	if a.Alive() != true {
+		t.Fatal("array should still be alive")
+	}
+}
+
+// Property: capacity + avoided-entry count == size, for any fault pattern.
+func TestCapacityAccountingProperty(t *testing.T) {
+	f := func(marks []uint8, spares8 uint8) bool {
+		spares := int(spares8 % 4)
+		a, err := New(16, spares)
+		if err != nil {
+			return false
+		}
+		for _, m := range marks {
+			_ = a.MarkFaulty(int(m % 16))
+		}
+		unusable := 0
+		for i := 0; i < 16; i++ {
+			if !a.Usable(i) {
+				unusable++
+			}
+		}
+		return a.EffectiveCapacity()+unusable == 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package trace records and replays dynamic instruction streams in a
+// compact binary format, so the performance simulator can consume traces
+// produced outside this repository (or re-run identical streams without
+// the generator). The format is a sequence of variable-length records:
+//
+//	byte   0: class (isa.Class)
+//	varint 1: dest+1 (0 = none)
+//	varint 2: src1+1
+//	varint 3: src2+1
+//	varint 4: addr delta (zig-zag, memory ops only)
+//	byte   5: taken flag (branches only)
+//	varint 6: target delta (zig-zag, branches only)
+//
+// PCs are not stored: the consumer reconstructs them from NextPC chaining
+// exactly as the fetch unit does, so a trace is also a consistency check.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rescue/internal/isa"
+)
+
+// Header identifies the stream.
+const magic = "RSCT\x01"
+
+// Writer serializes instructions.
+type Writer struct {
+	w        *bufio.Writer
+	lastAddr uint64
+	pc       uint64
+	started  bool
+	n        int64
+}
+
+// NewWriter begins a trace with the given start PC.
+func NewWriter(w io.Writer, startPC uint64) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], startPC)
+	if _, err := bw.Write(buf[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, pc: startPC}, nil
+}
+
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+func unzig(u uint64) int64  { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one instruction. Instructions must arrive in fetch order:
+// each PC must equal the previous instruction's NextPC.
+func (t *Writer) Write(in isa.Inst) error {
+	if t.started && in.PC != t.pc {
+		return fmt.Errorf("trace: PC %#x breaks the chain (want %#x)", in.PC, t.pc)
+	}
+	t.started = true
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := t.w.Write(buf[:n])
+		return err
+	}
+	if err := t.w.WriteByte(byte(in.Class)); err != nil {
+		return err
+	}
+	if err := put(uint64(in.Dest + 1)); err != nil {
+		return err
+	}
+	if err := put(uint64(in.Src1 + 1)); err != nil {
+		return err
+	}
+	if err := put(uint64(in.Src2 + 1)); err != nil {
+		return err
+	}
+	if in.Class.IsMem() {
+		if err := put(zigzag(int64(in.Addr) - int64(t.lastAddr))); err != nil {
+			return err
+		}
+		t.lastAddr = in.Addr
+	}
+	if in.Class == isa.Branch {
+		b := byte(0)
+		if in.Taken {
+			b = 1
+		}
+		if err := t.w.WriteByte(b); err != nil {
+			return err
+		}
+		if err := put(zigzag(int64(in.Target) - int64(in.PC))); err != nil {
+			return err
+		}
+	}
+	t.pc = in.NextPC()
+	t.n++
+	return nil
+}
+
+// Count reports instructions written.
+func (t *Writer) Count() int64 { return t.n }
+
+// Flush completes the trace.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader replays a trace; it implements uarch.Source. Traces are finite:
+// when the stream ends, Next loops back transparently if rewindable, else
+// repeats NOPs (documented degenerate tail for non-seekable inputs).
+type Reader struct {
+	r        *bufio.Reader
+	pc       uint64
+	lastAddr uint64
+	err      error
+	done     bool
+}
+
+// NewReader opens a trace stream.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	pc := binary.LittleEndian.Uint64(head[len(magic):])
+	return &Reader{r: br, pc: pc}, nil
+}
+
+// Err returns the first decode error (nil on clean EOF).
+func (t *Reader) Err() error { return t.err }
+
+// Done reports whether the stream is exhausted.
+func (t *Reader) Done() bool { return t.done }
+
+// Next decodes the next instruction; after EOF it returns NOPs that keep a
+// simulator structurally live (callers should bound runs by Count or check
+// Done).
+func (t *Reader) Next() isa.Inst {
+	if t.done {
+		in := isa.Inst{PC: t.pc, Class: isa.NOP, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+		t.pc = in.NextPC()
+		return in
+	}
+	fail := func(err error) isa.Inst {
+		if err != io.EOF && t.err == nil {
+			t.err = err
+		}
+		t.done = true
+		return t.Next()
+	}
+	cb, err := t.r.ReadByte()
+	if err != nil {
+		return fail(err)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(t.r) }
+	d, err := get()
+	if err != nil {
+		return fail(err)
+	}
+	s1, err := get()
+	if err != nil {
+		return fail(err)
+	}
+	s2, err := get()
+	if err != nil {
+		return fail(err)
+	}
+	in := isa.Inst{
+		PC:    t.pc,
+		Class: isa.Class(cb),
+		Dest:  isa.Reg(int64(d) - 1),
+		Src1:  isa.Reg(int64(s1) - 1),
+		Src2:  isa.Reg(int64(s2) - 1),
+	}
+	if in.Class.IsMem() {
+		dd, err := get()
+		if err != nil {
+			return fail(err)
+		}
+		in.Addr = uint64(int64(t.lastAddr) + unzig(dd))
+		t.lastAddr = in.Addr
+	}
+	if in.Class == isa.Branch {
+		tb, err := t.r.ReadByte()
+		if err != nil {
+			return fail(err)
+		}
+		in.Taken = tb != 0
+		td, err := get()
+		if err != nil {
+			return fail(err)
+		}
+		in.Target = uint64(int64(in.PC) + unzig(td))
+	}
+	t.pc = in.NextPC()
+	return in
+}
+
+// Record captures n instructions from any source into w.
+func Record(w io.Writer, src interface{ Next() isa.Inst }, n int64) (*Writer, error) {
+	first := src.Next()
+	tw, err := NewWriter(w, first.PC)
+	if err != nil {
+		return nil, err
+	}
+	if err := tw.Write(first); err != nil {
+		return nil, err
+	}
+	for i := int64(1); i < n; i++ {
+		if err := tw.Write(src.Next()); err != nil {
+			return nil, err
+		}
+	}
+	return tw, tw.Flush()
+}

@@ -1,0 +1,60 @@
+package workload
+
+// Microbenchmarks returns small single-behavior kernels that isolate one
+// microarchitectural mechanism each. They complement the SPEC2000
+// stand-ins: where the big profiles mix effects, these pin them down, which
+// makes them the right inputs for the ablation benchmarks and for sanity
+// checks of simulator changes.
+func Microbenchmarks() []Profile {
+	return []Profile{
+		{
+			// pointer-chase: serial dependent loads missing the caches —
+			// memory latency exposed, zero ILP, no issue pressure
+			Name: "chase", LoadFrac: 0.55, StoreFrac: 0.02,
+			BlockLen: 12, LoopWeight: 0.9, LoopTrip: 200, RandomBranches: 0.0,
+			Footprint: 64 << 20, L1Frac: 0.05, L2Frac: 0.15, StrideFrac: 0.0,
+			CodeFootprint: 4 << 10, DepDist: 0.3, BurstFrac: 0,
+		},
+		{
+			// stream: unit-stride loads/stores, long blocks, perfect
+			// branches — bandwidth-bound, high ILP, minimal replay exposure
+			Name: "stream", LoadFrac: 0.35, StoreFrac: 0.15,
+			BlockLen: 24, LoopWeight: 0.95, LoopTrip: 500, RandomBranches: 0.0,
+			Footprint: 64 << 20, L1Frac: 0.5, L2Frac: 0.3, StrideFrac: 1.0,
+			CodeFootprint: 4 << 10, DepDist: 5.0, BurstFrac: 0.1,
+		},
+		{
+			// branch-torture: short blocks, half the branches random —
+			// misprediction penalty (and Rescue's +2) exposed
+			Name: "torture", LoadFrac: 0.10, StoreFrac: 0.05,
+			BlockLen: 3, LoopWeight: 0.1, LoopTrip: 4, RandomBranches: 0.5,
+			Footprint: 64 << 10, L1Frac: 0.99, L2Frac: 0.01, StrideFrac: 0.5,
+			CodeFootprint: 16 << 10, DepDist: 3.0, BurstFrac: 0,
+		},
+		{
+			// burst: alternating serial chains and wide independent bursts
+			// — maximal stress on selection and the replay policy
+			Name: "burst", LoadFrac: 0.15, StoreFrac: 0.05,
+			BlockLen: 16, LoopWeight: 0.85, LoopTrip: 100, RandomBranches: 0.02,
+			Footprint: 256 << 10, L1Frac: 0.98, L2Frac: 0.02, StrideFrac: 0.8,
+			CodeFootprint: 8 << 10, DepDist: 1.2, BurstFrac: 0.7,
+		},
+		{
+			// alu: cache-resident integer arithmetic — the high-IPC anchor
+			Name: "alu", LoadFrac: 0.02, StoreFrac: 0.01,
+			BlockLen: 20, LoopWeight: 0.9, LoopTrip: 300, RandomBranches: 0.0,
+			Footprint: 16 << 10, L1Frac: 1, L2Frac: 0, StrideFrac: 1,
+			CodeFootprint: 4 << 10, DepDist: 0.2, BurstFrac: 0,
+		},
+	}
+}
+
+// MicroByName finds a microbenchmark profile.
+func MicroByName(name string) (Profile, bool) {
+	for _, p := range Microbenchmarks() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

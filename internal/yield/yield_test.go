@@ -1,0 +1,139 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rescue/internal/area"
+)
+
+func TestRefLambdaCalibration(t *testing.T) {
+	if y := NegBinomialYield(RefLambda()); math.Abs(y-RefYield) > 1e-9 {
+		t.Fatalf("yield at RefLambda = %v, want %v", y, RefYield)
+	}
+}
+
+func TestDensityScaling(t *testing.T) {
+	stag := area.Node(90)
+	d90 := Density(area.Node(90), stag)
+	d65 := Density(area.Node(65), stag)
+	d45 := Density(area.Node(45), stag)
+	if d90 != RefDensity() {
+		t.Fatalf("d90 = %v", d90)
+	}
+	// density grows as 1/s²: 90→45 is s=0.5, density ×4
+	if math.Abs(d45/d90-4) > 1e-9 {
+		t.Fatalf("d45/d90 = %v, want 4", d45/d90)
+	}
+	if d65 <= d90 {
+		t.Fatal("density must grow past stagnation")
+	}
+	// stagnating later keeps density flat until then
+	stag65 := area.Node(65)
+	if Density(area.Node(65), stag65) != RefDensity() {
+		t.Fatal("density at the stagnation node must equal the reference")
+	}
+	if Density(area.Node(90), stag65) != RefDensity() {
+		t.Fatal("density before stagnation must stay at the reference")
+	}
+}
+
+func TestMixGammaNormalization(t *testing.T) {
+	// ∫ pdf = 1, E[x] = 1
+	if one := MixGamma(func(x float64) float64 { return 1 }); math.Abs(one-1) > 1e-3 {
+		t.Fatalf("mixture mass = %v", one)
+	}
+	if mean := MixGamma(func(x float64) float64 { return x }); math.Abs(mean-1) > 1e-3 {
+		t.Fatalf("mixture mean = %v", mean)
+	}
+}
+
+func TestMixGammaReproducesNegBinomial(t *testing.T) {
+	// E_x[e^(−λx)] must equal the negative binomial yield (the defining
+	// property of the gamma-mixed Poisson model)
+	for _, lam := range []float64{0.1, 0.5, 1, 2} {
+		got := MixGamma(func(x float64) float64 { return math.Exp(-lam * x) })
+		want := NegBinomialYield(lam)
+		if math.Abs(got-want) > 1e-3 {
+			t.Fatalf("λ=%v: mixture %v vs closed form %v", lam, got, want)
+		}
+	}
+}
+
+func TestPairProbSumsToOne(t *testing.T) {
+	f := func(l float64) bool {
+		lam := math.Abs(l)
+		if lam > 50 {
+			lam = 50
+		}
+		p := PairProb(lam)
+		sum := p[0] + p[1] + p[2]
+		return math.Abs(sum-1) < 1e-9 && p[0] >= 0 && p[1] >= 0 && p[2] >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigsCount(t *testing.T) {
+	if n := len(Configs()); n != 64 {
+		t.Fatalf("configs = %d, want 64", n)
+	}
+}
+
+func flatIPC(full float64) map[CoreConfig]float64 {
+	m := map[CoreConfig]float64{}
+	for _, c := range Configs() {
+		m[c] = full // degraded modes magically lose nothing
+	}
+	return m
+}
+
+func TestChipOrdering(t *testing.T) {
+	base := CoreModel{Area: area.BaselineWithScan(), Full: 1.0}
+	resc := CoreModel{Area: area.Rescue(), Full: 1.0, IPC: flatIPC(1.0)}
+	for _, node := range area.Nodes() {
+		r := Chip(node, area.Node(90), 0.3, base, resc)
+		if !(r.NoRedundancy <= r.CoreSparing+1e-9) {
+			t.Errorf("%dnm: none %v > CS %v", node.NodeNM, r.NoRedundancy, r.CoreSparing)
+		}
+		if !(r.CoreSparing <= r.Rescue+1e-9) {
+			t.Errorf("%dnm: CS %v > Rescue %v (with lossless degradation)", node.NodeNM, r.CoreSparing, r.Rescue)
+		}
+		if !(r.Rescue <= r.Ideal+1e-9) {
+			t.Errorf("%dnm: Rescue %v > ideal %v", node.NodeNM, r.Rescue, r.Ideal)
+		}
+	}
+}
+
+func TestChipRescueAdvantageGrowsWithScaling(t *testing.T) {
+	base := CoreModel{Area: area.BaselineWithScan(), Full: 1.0}
+	resc := CoreModel{Area: area.Rescue(), Full: 1.0, IPC: flatIPC(0.95)}
+	adv := func(node area.Scaling) float64 {
+		r := Chip(node, area.Node(90), 0.3, base, resc)
+		return r.Rescue / r.CoreSparing
+	}
+	a32 := adv(area.Node(32))
+	a18 := adv(area.Node(18))
+	if a18 <= a32 {
+		t.Fatalf("advantage should grow: 32nm %v, 18nm %v", a32, a18)
+	}
+	if a32 < 1.0 {
+		t.Fatalf("Rescue should beat CS at 32nm: %v", a32)
+	}
+}
+
+func TestDegradedIPCReducesRescueYAT(t *testing.T) {
+	base := CoreModel{Area: area.BaselineWithScan(), Full: 1.0}
+	lossless := CoreModel{Area: area.Rescue(), Full: 1.0, IPC: flatIPC(1.0)}
+	lossy := CoreModel{Area: area.Rescue(), Full: 1.0, IPC: flatIPC(0.5)}
+	// keep the full config at full IPC in the lossy model
+	lossy.IPC[CoreConfig{}] = 1.0
+	n := area.Node(18)
+	r1 := Chip(n, area.Node(90), 0.3, base, lossless)
+	r2 := Chip(n, area.Node(90), 0.3, base, lossy)
+	if !(r2.Rescue < r1.Rescue) {
+		t.Fatalf("lossy degraded IPC must lower YAT: %v vs %v", r2.Rescue, r1.Rescue)
+	}
+}
