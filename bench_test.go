@@ -7,6 +7,7 @@ package rescue_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"rescue"
@@ -99,7 +100,7 @@ func BenchmarkFaultIsolation6000(b *testing.B) {
 	b.ResetTimer()
 	var rep rescue.IsolationReport
 	for i := 0; i < b.N; i++ {
-		rep = sys.IsolateCampaign(tp, 100, rescue.Stages(), int64(i)+1)
+		rep = sys.IsolateCampaign(tp, 100, rescue.Stages(), int64(i)+1, 0)
 	}
 	total := rep.Isolated + rep.Wrong + rep.Ambiguous
 	b.ReportMetric(float64(rep.Isolated), "isolated")
@@ -323,6 +324,62 @@ func BenchmarkFaultSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f := u.Collapsed[i%len(u.Collapsed)]
 		g.Sim.Run(f, 1)
+	}
+}
+
+// campaignFixture caches the expensive ATPG setup shared by the campaign
+// benchmarks.
+var campaignFixture struct {
+	sim *fault.Sim
+	u   *fault.Universe
+}
+
+func campaignSetup(b *testing.B) (*fault.Sim, *fault.Universe) {
+	b.Helper()
+	if campaignFixture.sim == nil {
+		d, err := rtl.Build(rtl.Small(), rtl.RescueDesign)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, _ := scan.Insert(d.N, 1)
+		u := fault.NewUniverse(d.N)
+		g := atpg.Generate(c, u, atpg.DefaultGenConfig())
+		campaignFixture.sim = g.Sim
+		campaignFixture.u = u
+	}
+	return campaignFixture.sim, campaignFixture.u
+}
+
+// BenchmarkFaultCampaign compares one full detection sweep over the
+// collapsed fault universe (the Table 3 coverage workload): the serial
+// Sim path vs the campaign engine at 1, 2, and NumCPU workers. Results
+// are bit-identical in every mode; only the wall time moves.
+func BenchmarkFaultCampaign(b *testing.B) {
+	sim, u := campaignSetup(b)
+	faults := u.Collapsed
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range faults {
+				sim.Run(f, 1)
+			}
+		}
+		b.ReportMetric(float64(len(faults)), "faults/op")
+	})
+	workerCounts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			camp := fault.NewCampaign(sim, fault.CampaignConfig{Workers: w, Drop: true})
+			var st fault.Stats
+			for i := 0; i < b.N; i++ {
+				_, st = camp.Run(faults)
+			}
+			b.ReportMetric(float64(len(faults)), "faults/op")
+			b.ReportMetric(float64(st.Dropped), "dropped-word-sims")
+		})
 	}
 }
 

@@ -7,8 +7,11 @@
 //
 // Usage:
 //
-//	rescue-dict build [-small] -o dict.csv
+//	rescue-dict build [-small] [-workers N] -o dict.csv
 //	rescue-dict diagnose [-small] -d dict.csv -bits 12,57,103
+//
+// Dictionary construction fan-outs across -workers cores (0 = all); the
+// dictionary is bit-identical at any worker count.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"rescue/internal/atpg"
 	"rescue/internal/core"
@@ -43,7 +47,7 @@ func usage() {
 	os.Exit(2)
 }
 
-func system(small bool) (*core.System, *core.TestProgram) {
+func system(small bool, workers int) (*core.System, *core.TestProgram) {
 	cfg := rtl.Default()
 	if small {
 		cfg = rtl.Small()
@@ -53,22 +57,27 @@ func system(small bool) (*core.System, *core.TestProgram) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	return sys, sys.GenerateTests(atpg.DefaultGenConfig())
+	gen := atpg.DefaultGenConfig()
+	gen.Workers = workers
+	return sys, sys.GenerateTests(gen)
 }
 
 func build(args []string) {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	small := fs.Bool("small", false, "use the reduced (2-way) configuration")
+	workers := fs.Int("workers", 0, "fault-simulation workers (0 = all cores)")
 	out := fs.String("o", "", "output CSV (required)")
 	fs.Parse(args)
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "build: -o required")
 		os.Exit(2)
 	}
-	sys, tp := system(*small)
+	sys, tp := system(*small, *workers)
 	fmt.Printf("building dictionary over %d collapsed faults, %d vectors...\n",
 		tp.Universe.CountCollapsed(), tp.Gen.Vectors)
-	d := fault.BuildDictionary(tp.Gen.Sim, tp.Universe)
+	d, st := fault.BuildDictionaryWorkers(tp.Gen.Sim, tp.Universe, *workers)
+	fmt.Printf("campaign: %d fault-sims, %d word-sims, %d gate events, %d workers, %s\n",
+		st.Faults, st.Words, st.Events, st.Workers, st.Wall.Round(time.Millisecond))
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -114,7 +123,7 @@ func diagnose(args []string) {
 		}
 		obs = append(obs, v)
 	}
-	sys, tp := system(*small)
+	sys, tp := system(*small, 0)
 	if len(d.Syndromes) != tp.Universe.CountCollapsed() {
 		fmt.Fprintf(os.Stderr, "dictionary has %d rows but the design has %d faults (wrong -small?)\n",
 			len(d.Syndromes), tp.Universe.CountCollapsed())

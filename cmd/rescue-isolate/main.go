@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	rescue-isolate [-small] [-per-stage N] [-seed N] [-multi]
+//	rescue-isolate [-small] [-per-stage N] [-seed N] [-multi] [-workers N] [-timing=false]
 package main
 
 import (
@@ -27,6 +27,8 @@ func main() {
 	perStage := flag.Int("per-stage", 1000, "faults to sample per stage (paper: 1000)")
 	seed := flag.Int64("seed", 2005, "sampling seed")
 	multi := flag.Bool("multi", false, "also run the multi-fault isolation corollary")
+	workers := flag.Int("workers", 0, "fault-simulation workers (0 = all cores)")
+	timing := flag.Bool("timing", true, "print wall-clock timings (disable for golden diffs)")
 	flag.Parse()
 
 	cfg := rtl.Default()
@@ -46,11 +48,17 @@ func main() {
 	fmt.Printf("built %s: %d gates, %d scan cells; ICI audit clean\n",
 		s.Design.N.Name, s.Design.N.NumGates(), s.Design.N.NumFFs())
 
-	tp := s.GenerateTests(atpg.DefaultGenConfig())
-	fmt.Printf("ATPG: %d vectors, %.2f%% coverage (%s)\n",
-		tp.Gen.Vectors, tp.Gen.Coverage*100, time.Since(start).Round(time.Millisecond))
+	gen := atpg.DefaultGenConfig()
+	gen.Workers = *workers
+	tp := s.GenerateTests(gen)
+	if *timing {
+		fmt.Printf("ATPG: %d vectors, %.2f%% coverage (%s)\n",
+			tp.Gen.Vectors, tp.Gen.Coverage*100, time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("ATPG: %d vectors, %.2f%% coverage\n", tp.Gen.Vectors, tp.Gen.Coverage*100)
+	}
 
-	rep := s.IsolateCampaign(tp, *perStage, core.Stages(), *seed)
+	rep := s.IsolateCampaign(tp, *perStage, core.Stages(), *seed, *workers)
 	fmt.Println()
 	fmt.Printf("%-10s %9s %9s %7s %10s\n", "stage", "sampled", "isolated", "wrong", "ambiguous")
 	for _, st := range core.Stages() {
@@ -62,9 +70,14 @@ func main() {
 	fmt.Printf("TOTAL: %d faults simulated, %d isolated correctly, %d wrong, %d ambiguous\n",
 		total, rep.Isolated, rep.Wrong, rep.Ambiguous)
 	fmt.Printf("(paper: 6000/6000 isolated; %d undetectable faults were resampled)\n", rep.Undetected)
+	if *timing {
+		fmt.Printf("campaign: %d faults, %d word-sims, %d gate events, %d workers, %s\n",
+			rep.Stats.Faults, rep.Stats.Words, rep.Stats.Events, rep.Stats.Workers,
+			rep.Stats.Wall.Round(time.Millisecond))
+	}
 
 	if *multi {
-		ok, trials := s.MultiFaultIsolation(tp, 200, 3, *seed)
+		ok, trials := s.MultiFaultIsolation(tp, 200, 3, *seed, *workers)
 		fmt.Printf("multi-fault corollary: %d/%d trials — all simultaneous faults in\n", ok, trials)
 		fmt.Println("distinct super-components isolated by one pattern set")
 	}

@@ -18,7 +18,7 @@ func TestCompactReverse(t *testing.T) {
 	cfg.UselessLimit = 8
 	g := Generate(c, u, cfg)
 	before := g.Vectors
-	after := CompactReverse(c, u, g)
+	after := CompactReverse(c, u, g, 2)
 	if after > before {
 		t.Fatalf("compaction grew vectors: %d -> %d", before, after)
 	}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"rescue/internal/fault"
+	"rescue/internal/netlist"
 	"rescue/internal/scan"
 )
 
@@ -18,6 +19,9 @@ type GenConfig struct {
 	MaxBacktracks int
 	// Seed drives random pattern generation and X-fill.
 	Seed int64
+	// Workers sets the fault-simulation campaign concurrency
+	// (<= 0 = all cores). Results are identical at any worker count.
+	Workers int
 }
 
 // DefaultGenConfig matches common production ATPG settings.
@@ -39,6 +43,10 @@ type GenResult struct {
 	Coverage   float64 // detected / (collapsed - untestable)
 	ScanCells  int
 	Cycles     int // tester cycles to apply all vectors
+
+	// Stats accumulates the fault-dropping campaign work (faults simulated,
+	// words dropped, gate events, wall time across all dropWord passes).
+	Stats fault.Stats
 }
 
 // Generate runs the full ATPG flow on a scan-inserted netlist: a random
@@ -55,14 +63,30 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 	nRemaining := len(remaining)
 	detected := 0
 
+	// One campaign serves every dropWord pass, so per-worker scratch state
+	// is allocated once. MaxFail=1: detection-only, the coverage loop never
+	// needs more than the first failing bit.
+	camp := fault.NewCampaign(sim, fault.CampaignConfig{Workers: cfg.Workers, MaxFail: 1})
+	var campStats fault.Stats
+	aliveIdx := make([]int, 0, nRemaining)
+	aliveFaults := make([]netlist.Fault, 0, nRemaining)
+
 	dropWord := func(w int) int {
-		dropped := 0
+		aliveIdx = aliveIdx[:0]
+		aliveFaults = aliveFaults[:0]
 		for i, alive := range remaining {
 			if !alive {
 				continue
 			}
-			if sim.RunWord(u.Collapsed[i], w, 1).Detected {
-				remaining[i] = false
+			aliveIdx = append(aliveIdx, i)
+			aliveFaults = append(aliveFaults, u.Collapsed[i])
+		}
+		results, st := camp.RunWords(aliveFaults, w, w+1)
+		campStats.Add(st)
+		dropped := 0
+		for k, res := range results {
+			if res.Detected {
+				remaining[aliveIdx[k]] = false
 				nRemaining--
 				detected++
 				dropped++
@@ -176,6 +200,7 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 		Aborted:    aborted,
 		ScanCells:  c.Cells(),
 		Cycles:     c.TestCycles(vectors),
+		Stats:      campStats,
 	}
 	if d := u.CountCollapsed() - untestable; d > 0 {
 		res.Coverage = float64(detected) / float64(d)
@@ -187,8 +212,9 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 // dropped greedily (newest first) when the remaining set still detects
 // every originally-detected fault. It returns the compacted vector count.
 // The paper's vector counts come from a commercial tool with compaction;
-// this pass approximates it.
-func CompactReverse(c *scan.Chain, u *fault.Universe, g *GenResult) int {
+// this pass approximates it. Each trial detection sweep is a parallel
+// campaign with fault dropping (detection-only, workers <= 0 = all cores).
+func CompactReverse(c *scan.Chain, u *fault.Universe, g *GenResult, workers int) int {
 	// Build per-vector detection sets lazily is expensive; approximate by
 	// word granularity: try dropping whole 64-lane words from the end.
 	kept := make([]bool, len(g.Sim.Patterns))
@@ -202,9 +228,11 @@ func CompactReverse(c *scan.Chain, u *fault.Universe, g *GenResult) int {
 				sim.AddPattern(g.Sim.Patterns[w])
 			}
 		}
+		camp := fault.NewCampaign(sim, fault.CampaignConfig{Workers: workers, Drop: true})
+		results, _ := camp.Run(u.Collapsed)
 		n := 0
-		for _, f := range u.Collapsed {
-			if sim.Run(f, 1).Detected {
+		for _, res := range results {
+			if res.Detected {
 				n++
 			}
 		}

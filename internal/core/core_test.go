@@ -58,7 +58,7 @@ func TestGenerateTestsAndSummary(t *testing.T) {
 func TestIsolationCampaignSmall(t *testing.T) {
 	s := buildSmall(t, rtl.RescueDesign)
 	tp := s.GenerateTests(testCfg())
-	rep := s.IsolateCampaign(tp, 30, Stages(), 42)
+	rep := s.IsolateCampaign(tp, 30, Stages(), 42, 2)
 	total := rep.Isolated + rep.Wrong + rep.Ambiguous
 	if total == 0 {
 		t.Fatal("no faults sampled")
@@ -72,7 +72,7 @@ func TestIsolationCampaignSmall(t *testing.T) {
 func TestMultiFaultIsolation(t *testing.T) {
 	s := buildSmall(t, rtl.RescueDesign)
 	tp := s.GenerateTests(testCfg())
-	ok, total := s.MultiFaultIsolation(tp, 20, 3, 7)
+	ok, total := s.MultiFaultIsolation(tp, 20, 3, 7, 2)
 	if total != 20 {
 		t.Fatalf("total = %d", total)
 	}

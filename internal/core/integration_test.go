@@ -16,7 +16,7 @@ import (
 func TestBaselineCannotIsolate(t *testing.T) {
 	s := buildSmall(t, rtl.Baseline)
 	tp := s.GenerateTests(testCfg())
-	rep := s.IsolateCampaign(tp, 40, []string{"rename", "issue"}, 11)
+	rep := s.IsolateCampaign(tp, 40, []string{"rename", "issue"}, 11, 2)
 	total := rep.Isolated + rep.Wrong + rep.Ambiguous
 	if total == 0 {
 		t.Fatal("no faults sampled")

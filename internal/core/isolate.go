@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"rescue/internal/fault"
 	"rescue/internal/netlist"
 )
 
@@ -18,6 +19,8 @@ type IsolationReport struct {
 	Wrong      int // implicated super differs from the ground truth
 	Ambiguous  int // failing bits span multiple super-components
 	PerStage   map[string]StageIsolation
+	// Stats records the fault-simulation campaign work behind the report.
+	Stats fault.Stats
 }
 
 // StageIsolation is the per-stage breakdown.
@@ -36,7 +39,12 @@ func Stages() []string {
 // stage (FF faults are scan cells — chipkill by construction — and chipkill
 // components are excluded), runs full fault simulation for each, and
 // verifies isolation. It mirrors the paper's 6000-fault TetraMax campaign.
-func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string, seed int64) IsolationReport {
+//
+// Simulation is sharded across workers (<= 0 = all cores) with fault
+// dropping off — isolation needs every failing observation point. Faults
+// are batch-simulated in sampling order and the report walk replays the
+// serial logic exactly, so the outcome is identical at any worker count.
+func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string, seed int64, workers int) IsolationReport {
 	rng := rand.New(rand.NewSource(seed))
 	n := s.Design.N
 	rep := IsolationReport{PerStage: map[string]StageIsolation{}}
@@ -56,7 +64,7 @@ func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string,
 		byStage[stage] = append(byStage[stage], f)
 	}
 
-	sim := tp.Gen.Sim
+	camp := fault.NewCampaign(tp.Gen.Sim, fault.CampaignConfig{Workers: workers})
 	for _, stage := range stages {
 		cands := byStage[stage]
 		if len(cands) == 0 {
@@ -65,13 +73,30 @@ func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string,
 		st := rep.PerStage[stage]
 		// sample without replacement
 		perm := rng.Perm(len(cands))
+		// Simulate candidates in permutation order, in batches sized by how
+		// many detectable faults are still needed (plus slack for the
+		// undetectable ones that get resampled), ahead of the serial walk.
+		results := make([]fault.Result, 0, perStage)
+		simmed := 0
 		taken := 0
-		for _, idx := range perm {
-			if taken >= perStage {
-				break
+		for pi := 0; pi < len(perm) && taken < perStage; pi++ {
+			if pi >= simmed {
+				need := perStage - taken
+				batch := need + need/4 + 16
+				if batch > len(perm)-simmed {
+					batch = len(perm) - simmed
+				}
+				faults := make([]netlist.Fault, batch)
+				for k := 0; k < batch; k++ {
+					faults[k] = cands[perm[simmed+k]]
+				}
+				res, cst := camp.Run(faults)
+				rep.Stats.Add(cst)
+				results = append(results, res...)
+				simmed += batch
 			}
-			f := cands[idx]
-			res := sim.Run(f, 0)
+			f := cands[perm[pi]]
+			res := results[pi]
 			rep.Requested++
 			if !res.Detected {
 				rep.Undetected++
@@ -107,7 +132,10 @@ func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string,
 // Simultaneous injection is simulated by unioning each fault's failing
 // bits — valid under ICI because a fault in one component cannot influence
 // observation points of another (their cones are disjoint by audit).
-func (s *System) MultiFaultIsolation(tp *TestProgram, trials, nFaults int, seed int64) (ok, total int) {
+//
+// Sampling depends only on the seed, so all trials' faults are drawn
+// first and simulated as one campaign across workers (<= 0 = all cores).
+func (s *System) MultiFaultIsolation(tp *TestProgram, trials, nFaults int, seed int64, workers int) (ok, total int) {
 	rng := rand.New(rand.NewSource(seed))
 	n := s.Design.N
 	var cands []netlist.Fault
@@ -121,10 +149,12 @@ func (s *System) MultiFaultIsolation(tp *TestProgram, trials, nFaults int, seed 
 		}
 		cands = append(cands, f)
 	}
-	sim := tp.Gen.Sim
+	// Draw every trial's faults up front (rng consumption identical to the
+	// serial per-trial loop), then simulate the union in one campaign.
+	chosenPerTrial := make([]map[string]netlist.Fault, trials)
+	var all []netlist.Fault
+	seen := map[netlist.Fault]bool{}
 	for t := 0; t < trials; t++ {
-		total++
-		// pick nFaults faults in distinct supers
 		chosen := map[string]netlist.Fault{}
 		for tries := 0; tries < 200 && len(chosen) < nFaults; tries++ {
 			f := cands[rng.Intn(len(cands))]
@@ -133,12 +163,43 @@ func (s *System) MultiFaultIsolation(tp *TestProgram, trials, nFaults int, seed 
 				chosen[super] = f
 			}
 		}
+		chosenPerTrial[t] = chosen
+		for _, f := range chosen {
+			if !seen[f] {
+				seen[f] = true
+				all = append(all, f)
+			}
+		}
+	}
+	// Deterministic campaign order: sort the deduplicated fault list.
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Gate != b.Gate {
+			return a.Gate < b.Gate
+		}
+		if a.FF != b.FF {
+			return a.FF < b.FF
+		}
+		if a.Pin != b.Pin {
+			return a.Pin < b.Pin
+		}
+		return !a.StuckAt1 && b.StuckAt1
+	})
+	camp := fault.NewCampaign(tp.Gen.Sim, fault.CampaignConfig{Workers: workers})
+	results, _ := camp.Run(all)
+	resOf := make(map[netlist.Fault]fault.Result, len(all))
+	for i, f := range all {
+		resOf[f] = results[i]
+	}
+
+	for t := 0; t < trials; t++ {
+		total++
 		var allObs []int
 		truth := map[string]bool{}
 		detected := map[string]bool{}
-		for super, f := range chosen {
+		for super, f := range chosenPerTrial[t] {
 			truth[super] = true
-			res := sim.Run(f, 0)
+			res := resOf[f]
 			if res.Detected {
 				detected[super] = true
 				allObs = append(allObs, res.FailObs...)

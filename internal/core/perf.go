@@ -76,25 +76,22 @@ func parallelMap(n int, f func(i int)) {
 }
 
 // IPCStudy reproduces Figure 8: fault-free baseline vs. Rescue IPC for the
-// given benchmarks (nil = all 23).
+// given benchmarks (nil = all 23). Workers accumulate into disjoint
+// per-index slots — no shared state, nothing to lock.
 func IPCStudy(benchNames []string, warmup, commit int64) ([]IPCRow, error) {
 	profs, err := resolve(benchNames)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]IPCRow, len(profs))
-	var firstErr error
-	var mu sync.Mutex
+	errs := make([]error, len(profs))
 	parallelMap(len(profs), func(i int) {
 		base, err1 := runIPC(uarch.DefaultParams(), profs[i], warmup, commit)
 		resc, err2 := runIPC(uarch.RescueParams(), profs[i], warmup, commit)
-		mu.Lock()
-		defer mu.Unlock()
-		if err1 != nil && firstErr == nil {
-			firstErr = err1
-		}
-		if err2 != nil && firstErr == nil {
-			firstErr = err2
+		if err1 != nil {
+			errs[i] = err1
+		} else if err2 != nil {
+			errs[i] = err2
 		}
 		rows[i] = IPCRow{
 			Benchmark: profs[i].Name,
@@ -105,7 +102,12 @@ func IPCStudy(benchNames []string, warmup, commit int64) ([]IPCRow, error) {
 			rows[i].DegradationPct = (1 - resc/base) * 100
 		}
 	})
-	return rows, firstErr
+	for _, e := range errs {
+		if e != nil {
+			return rows, e
+		}
+	}
+	return rows, nil
 }
 
 func resolve(names []string) ([]workload.Profile, error) {

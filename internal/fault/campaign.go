@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rescue/internal/netlist"
+)
+
+// Stats counts what a campaign (or one of its runs) actually did — the
+// observability record the CLIs print.
+type Stats struct {
+	Faults   int64 // fault simulations performed
+	Detected int64 // faults the pattern set detected
+	Dropped  int64 // (fault, word) sims skipped after the failing-bit cap hit
+	Words    int64 // (fault, word) pairs event-simulated
+	Events   int64 // gate evaluations performed
+	Wall     time.Duration
+	Workers  int
+}
+
+// Add accumulates another run's stats (wall times sum; workers keep the max).
+func (s *Stats) Add(o Stats) {
+	s.Faults += o.Faults
+	s.Detected += o.Detected
+	s.Dropped += o.Dropped
+	s.Words += o.Words
+	s.Events += o.Events
+	s.Wall += o.Wall
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+}
+
+// CampaignConfig tunes a fault-simulation campaign.
+type CampaignConfig struct {
+	// Workers is the concurrency degree; <= 0 means runtime.NumCPU().
+	Workers int
+	// MaxFail caps failing bits collected per fault (0 = unlimited —
+	// required by isolation/dictionary flows that need full FailObs sets).
+	MaxFail int
+	// Drop enables fault dropping: once a fault is detected by some word,
+	// later pattern words are skipped for it (coverage-only mode; forces an
+	// effective MaxFail of at least 1). Must stay off when callers need
+	// every failing observation point.
+	Drop bool
+	// Chunk is the dispatch batch size; <= 0 picks one from the fault count.
+	Chunk int
+}
+
+// Campaign shards a fault list across workers that share one read-only
+// simCore (good-machine images, levels, readers, obs map) while each owns
+// a private simScratch, so no synchronization touches the hot loop.
+// Results are always ordered by fault index and bit-identical to the
+// serial path regardless of worker count.
+//
+// A Campaign reuses its per-worker scratch state across runs, so create it
+// once and call Run/RunWords repeatedly; calls must not overlap, and the
+// underlying Sim's pattern set must not grow during a run.
+type Campaign struct {
+	cfg  CampaignConfig
+	core *simCore
+	scr  []*simScratch
+}
+
+// NewCampaign prepares a campaign over s's netlist and pattern set.
+func NewCampaign(s *Sim, cfg CampaignConfig) *Campaign {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Drop && cfg.MaxFail <= 0 {
+		cfg.MaxFail = 1
+	}
+	return &Campaign{cfg: cfg, core: &s.simCore}
+}
+
+// Workers reports the configured concurrency degree.
+func (c *Campaign) Workers() int { return c.cfg.Workers }
+
+// Run simulates every fault against the full pattern set.
+func (c *Campaign) Run(faults []netlist.Fault) ([]Result, Stats) {
+	return c.run(faults, 0, len(c.core.Patterns))
+}
+
+// RunWords simulates every fault against pattern words [wLo, wHi) only —
+// the campaign form of the ATPG per-word fault-dropping loop.
+func (c *Campaign) RunWords(faults []netlist.Fault, wLo, wHi int) ([]Result, Stats) {
+	return c.run(faults, wLo, wHi)
+}
+
+func (c *Campaign) run(faults []netlist.Fault, wLo, wHi int) ([]Result, Stats) {
+	start := time.Now()
+	out := make([]Result, len(faults))
+	workers := c.cfg.Workers
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(c.scr) < workers {
+		scr := &simScratch{}
+		scr.init(c.core)
+		c.scr = append(c.scr, scr)
+	}
+	q := newChunkQueue(len(faults), workers, c.cfg.Chunk)
+	nWords := int64(wHi - wLo)
+	perWorker := make([]Stats, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scr := c.scr[w]
+			st := &perWorker[w]
+			words0, events0 := scr.words, scr.events
+			for {
+				lo, hi, ok := q.next(w)
+				if !ok {
+					break
+				}
+				for i := lo; i < hi; i++ {
+					before := scr.words
+					out[i] = c.core.run(scr, faults[i], c.cfg.MaxFail, wLo, wHi)
+					st.Faults++
+					if out[i].Detected {
+						st.Detected++
+					}
+					if c.cfg.MaxFail > 0 {
+						st.Dropped += nWords - (scr.words - before)
+					}
+				}
+			}
+			st.Words = scr.words - words0
+			st.Events = scr.events - events0
+		}(w)
+	}
+	wg.Wait()
+
+	var st Stats
+	for i := range perWorker {
+		st.Faults += perWorker[i].Faults
+		st.Detected += perWorker[i].Detected
+		st.Dropped += perWorker[i].Dropped
+		st.Words += perWorker[i].Words
+		st.Events += perWorker[i].Events
+	}
+	st.Wall = time.Since(start)
+	st.Workers = workers
+	return out, st
+}
+
+// chunkQueue is a work-stealing dispatch queue over fault indices [0, n):
+// the range is pre-split into one contiguous segment per worker, each
+// consumed front-to-back in fixed-size chunks via an atomic cursor. A
+// worker that drains its own segment steals chunks from the segment with
+// the most work remaining, so one fault with a huge propagation region
+// (or a skewed segment) cannot stall the rest of the pool.
+type chunkQueue struct {
+	segs  []chunkSeg
+	chunk int64
+}
+
+type chunkSeg struct {
+	pos atomic.Int64 // next unclaimed index
+	end int64        // one past the last index (immutable)
+	_   [6]int64     // keep cursors on separate cache lines
+}
+
+func newChunkQueue(n, workers, chunk int) *chunkQueue {
+	if chunk <= 0 {
+		// Small chunks keep stealing effective; larger ones amortize the
+		// atomic op. ~16 chunks per worker balances both.
+		chunk = n / (workers * 16)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 256 {
+			chunk = 256
+		}
+	}
+	q := &chunkQueue{segs: make([]chunkSeg, workers), chunk: int64(chunk)}
+	per := n / workers
+	rem := n % workers
+	lo := 0
+	for i := range q.segs {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		q.segs[i].pos.Store(int64(lo))
+		q.segs[i].end = int64(hi)
+		lo = hi
+	}
+	return q
+}
+
+// take claims the next chunk of segment i, if any.
+func (q *chunkQueue) take(i int) (lo, hi int, ok bool) {
+	s := &q.segs[i]
+	for {
+		p := s.pos.Load()
+		if p >= s.end {
+			return 0, 0, false
+		}
+		h := p + q.chunk
+		if h > s.end {
+			h = s.end
+		}
+		if s.pos.CompareAndSwap(p, h) {
+			return int(p), int(h), true
+		}
+	}
+}
+
+// next returns worker self's next chunk: its own segment first, then a
+// steal from the fullest remaining segment.
+func (q *chunkQueue) next(self int) (lo, hi int, ok bool) {
+	if lo, hi, ok = q.take(self); ok {
+		return lo, hi, true
+	}
+	for {
+		best, bestRem := -1, int64(0)
+		for i := range q.segs {
+			if rem := q.segs[i].end - q.segs[i].pos.Load(); rem > bestRem {
+				best, bestRem = i, rem
+			}
+		}
+		if best < 0 {
+			return 0, 0, false
+		}
+		if lo, hi, ok = q.take(best); ok {
+			return lo, hi, true
+		}
+	}
+}

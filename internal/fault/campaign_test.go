@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"rescue/internal/rtl"
+	"rescue/internal/scan"
+)
+
+// rescueSim builds the RescueDesign small config with a seeded random
+// pattern set — a real netlist with skewed propagation regions.
+func rescueSim(t testing.TB, words int, seed int64) (*Sim, *Universe) {
+	t.Helper()
+	d, err := rtl.Build(rtl.Small(), rtl.RescueDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := scan.Insert(d.N, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSim(c, randomPatterns(c, words, seed)), NewUniverse(d.N)
+}
+
+// TestCampaignDeterminism asserts that the campaign engine produces
+// bit-identical Result slices (Fails ordering included) at any worker
+// count, and that they match the serial Sim path exactly — for both
+// isolation mode (full FailObs) and coverage mode (fault dropping).
+func TestCampaignDeterminism(t *testing.T) {
+	sim, u := rescueSim(t, 4, 2026)
+	faults := u.Collapsed
+	if testing.Short() {
+		faults = faults[:len(faults)/8]
+	}
+
+	for _, mode := range []struct {
+		name string
+		cfg  CampaignConfig
+		// serial maxFail equivalent of the campaign mode
+		maxFail int
+	}{
+		{"isolation", CampaignConfig{MaxFail: 0}, 0},
+		{"coverage-drop", CampaignConfig{Drop: true}, 1},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			ref := make([]Result, len(faults))
+			for i, f := range faults {
+				ref[i] = sim.Run(f, mode.maxFail)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				cfg := mode.cfg
+				cfg.Workers = workers
+				camp := NewCampaign(sim, cfg)
+				got, st := camp.Run(faults)
+				if len(got) != len(ref) {
+					t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(ref))
+				}
+				for i := range got {
+					if !reflect.DeepEqual(got[i], ref[i]) {
+						t.Fatalf("workers=%d fault %d (%v): campaign %+v != serial %+v",
+							workers, i, faults[i], got[i], ref[i])
+					}
+				}
+				if st.Faults != int64(len(faults)) {
+					t.Fatalf("workers=%d: stats.Faults=%d, want %d", workers, st.Faults, len(faults))
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignDropSkipsWords checks the ERASER-style redundancy trim: in
+// drop mode a detected fault must not be simulated against later words,
+// and the skipped work must be visible in Stats.Dropped.
+func TestCampaignDropSkipsWords(t *testing.T) {
+	sim, u := rescueSim(t, 6, 7)
+	camp := NewCampaign(sim, CampaignConfig{Workers: 2, Drop: true})
+	results, st := camp.Run(u.Collapsed)
+	nWords := int64(len(sim.Patterns))
+	if st.Words+st.Dropped != int64(len(u.Collapsed))*nWords {
+		t.Fatalf("words(%d) + dropped(%d) != faults(%d) × words(%d)",
+			st.Words, st.Dropped, len(u.Collapsed), nWords)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("no words dropped despite detected faults and Drop mode")
+	}
+	detected := int64(0)
+	for _, r := range results {
+		if r.Detected {
+			detected++
+		}
+	}
+	if st.Detected != detected {
+		t.Fatalf("stats.Detected=%d, results say %d", st.Detected, detected)
+	}
+	if st.Events == 0 {
+		t.Fatal("stats.Events not counted")
+	}
+}
+
+// TestCampaignRunWords pins the word-restricted campaign (the ATPG
+// dropWord path) against serial RunWord.
+func TestCampaignRunWords(t *testing.T) {
+	sim, u := rescueSim(t, 5, 99)
+	camp := NewCampaign(sim, CampaignConfig{Workers: 4, MaxFail: 1})
+	for w := 0; w < len(sim.Patterns); w++ {
+		got, _ := camp.RunWords(u.Collapsed, w, w+1)
+		for i, f := range u.Collapsed {
+			want := sim.RunWord(f, w, 1)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("word %d fault %d: campaign %+v != serial %+v", w, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestCampaignReuse verifies per-worker scratch reuse across runs: a
+// second Run over the same campaign must match a fresh serial pass.
+func TestCampaignReuse(t *testing.T) {
+	sim, u := rescueSim(t, 3, 5)
+	camp := NewCampaign(sim, CampaignConfig{Workers: 3})
+	first, _ := camp.Run(u.Collapsed)
+	second, _ := camp.Run(u.Collapsed)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("campaign results changed across reuse of the same campaign")
+	}
+}
+
+// TestCampaignEmptyAndTiny covers degenerate shards: no faults, and fewer
+// faults than workers.
+func TestCampaignEmptyAndTiny(t *testing.T) {
+	sim, u := rescueSim(t, 2, 3)
+	camp := NewCampaign(sim, CampaignConfig{Workers: 8})
+	res, st := camp.Run(nil)
+	if len(res) != 0 || st.Faults != 0 {
+		t.Fatalf("empty run: %d results, %d faults", len(res), st.Faults)
+	}
+	res, _ = camp.Run(u.Collapsed[:3])
+	for i, f := range u.Collapsed[:3] {
+		want := sim.Run(f, 0)
+		if !reflect.DeepEqual(res[i], want) {
+			t.Fatalf("tiny run fault %d: %+v != %+v", i, res[i], want)
+		}
+	}
+}
+
+// TestChunkQueueCoversAll checks that the work-stealing queue hands out
+// every index exactly once, own-segment-first, steals included.
+func TestChunkQueueCoversAll(t *testing.T) {
+	for _, tc := range []struct{ n, workers, chunk int }{
+		{100, 4, 7}, {5, 8, 1}, {1, 1, 0}, {1000, 3, 0}, {64, 2, 64},
+	} {
+		q := newChunkQueue(tc.n, tc.workers, tc.chunk)
+		seen := make([]int, tc.n)
+		for w := 0; w < tc.workers; w++ {
+			for {
+				lo, hi, ok := q.next(w)
+				if !ok {
+					break
+				}
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			}
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d chunk=%d: index %d handed out %d times",
+					tc.n, tc.workers, tc.chunk, i, c)
+			}
+		}
+	}
+}
+
+// TestDictionaryWorkersDeterminism: the parallel dictionary must be
+// identical at every worker count.
+func TestDictionaryWorkersDeterminism(t *testing.T) {
+	sim, u := rescueSim(t, 4, 11)
+	ref := BuildDictionary(sim, u)
+	for _, w := range []int{1, 2, 8} {
+		d, st := BuildDictionaryWorkers(sim, u, w)
+		if !reflect.DeepEqual(d.Syndromes, ref.Syndromes) {
+			t.Fatalf("workers=%d: dictionary differs from reference", w)
+		}
+		if st.Dropped != 0 {
+			t.Fatalf("workers=%d: dictionary build dropped %d word-sims (needs full syndromes)", w, st.Dropped)
+		}
+	}
+}

@@ -19,18 +19,27 @@ type Dictionary struct {
 	Syndromes [][]int
 }
 
-// BuildDictionary simulates every collapsed fault against the pattern set.
-// This is the expensive, exhaustive version of the per-fault isolation
-// flow; cost is proportional to faults × affected cones.
+// BuildDictionary simulates every collapsed fault against the pattern set
+// across all cores. This is the expensive, exhaustive version of the
+// per-fault isolation flow; cost is proportional to faults × affected cones.
 func BuildDictionary(sim *Sim, u *Universe) *Dictionary {
+	d, _ := BuildDictionaryWorkers(sim, u, 0)
+	return d
+}
+
+// BuildDictionaryWorkers is BuildDictionary with an explicit worker count
+// (<= 0 = all cores) and campaign stats. Fault dropping stays off: a
+// dictionary needs every fault's complete syndrome.
+func BuildDictionaryWorkers(sim *Sim, u *Universe, workers int) (*Dictionary, Stats) {
+	camp := NewCampaign(sim, CampaignConfig{Workers: workers})
+	results, st := camp.Run(u.Collapsed)
 	d := &Dictionary{Syndromes: make([][]int, len(u.Collapsed))}
-	for i, f := range u.Collapsed {
-		res := sim.Run(f, 0)
+	for i, res := range results {
 		obs := append([]int(nil), res.FailObs...)
 		sort.Ints(obs)
 		d.Syndromes[i] = obs
 	}
-	return d
+	return d, st
 }
 
 // Detected reports how many faults the dictionary's program detects.

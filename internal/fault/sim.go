@@ -23,13 +23,12 @@ type Result struct {
 	FailObs []int
 }
 
-// Sim is a fault simulator bound to a netlist, a scan chain, and a growable
-// pattern set. Good-machine responses and full good-machine net images are
-// precomputed per pattern word; each fault is then simulated event-driven —
-// only gates the fault effect actually reaches are re-evaluated, so the
-// cost per (fault, word) is proportional to the propagation region, which
-// is tiny whenever the pattern does not excite the fault.
-type Sim struct {
+// simCore is the read-only half of a fault simulator: the netlist, scan
+// chain, pattern set, precomputed good-machine images, and static
+// structure (levels, per-net readers, observation map). Once the pattern
+// set stops growing, a simCore is safe to share across any number of
+// concurrent workers — everything mutable lives in simScratch.
+type simCore struct {
 	C        *scan.Chain
 	N        *netlist.Netlist
 	Patterns []*scan.Pattern
@@ -42,20 +41,45 @@ type Sim struct {
 	maxLevel   int32
 	netReaders [][]netlist.GateID // per-net reading gates
 	obsOfNet   []int32            // per-net observation index or -1
+	numObs     int
+}
 
-	// per-run scratch
+// simScratch is the mutable per-worker half: faulty-value overlays, event
+// queues, and dedup markers, all epoch-cleared so one allocation serves
+// every (fault, word) simulation. Each campaign worker owns one.
+type simScratch struct {
 	scratch []uint64 // per-net faulty values (valid when epoch matches)
 	epoch   []int32
 	curEp   int32
 	buckets [][]netlist.GateID // event queue bucketed by level
 	schedEp []int32            // per-gate scheduled marker
+	obsEp   []int32            // per-obs FailObs dedup marker
+	runEp   int32
+
+	// counters for campaign Stats
+	words  int64 // (fault, word) pairs event-simulated
+	events int64 // gate evaluations performed
+}
+
+// Sim is a fault simulator bound to a netlist, a scan chain, and a growable
+// pattern set. Good-machine responses and full good-machine net images are
+// precomputed per pattern word; each fault is then simulated event-driven —
+// only gates the fault effect actually reaches are re-evaluated, so the
+// cost per (fault, word) is proportional to the propagation region, which
+// is tiny whenever the pattern does not excite the fault.
+//
+// A Sim is a simCore plus one private simScratch, so its methods are the
+// serial path; Campaign fans the same core out across workers.
+type Sim struct {
+	simCore
+	scr simScratch
 }
 
 // NewSim builds a simulator and precomputes good-machine behavior for the
 // given patterns (which may be nil; use AddPattern to grow the set).
 func NewSim(c *scan.Chain, patterns []*scan.Pattern) *Sim {
 	n := c.N
-	s := &Sim{C: c, N: n}
+	s := &Sim{simCore: simCore{C: c, N: n}}
 	// levels
 	s.level = make([]int32, n.NumGates())
 	for _, gi := range n.TopoOrder() {
@@ -90,25 +114,37 @@ func NewSim(c *scan.Chain, patterns []*scan.Pattern) *Sim {
 	for oi, out := range n.Outputs {
 		s.obsOfNet[out] = int32(n.NumFFs() + oi)
 	}
-	s.scratch = make([]uint64, n.NumNets())
-	s.epoch = make([]int32, n.NumNets())
-	for i := range s.epoch {
-		s.epoch[i] = -1
-	}
-	s.buckets = make([][]netlist.GateID, s.maxLevel+1)
-	s.schedEp = make([]int32, n.NumGates())
-	for i := range s.schedEp {
-		s.schedEp[i] = -1
-	}
+	s.numObs = n.NumFFs() + len(n.Outputs)
+	s.scr.init(&s.simCore)
 	for _, p := range patterns {
 		s.AddPattern(p)
 	}
 	return s
 }
 
+// init sizes a scratch for the core's netlist.
+func (scr *simScratch) init(c *simCore) {
+	n := c.N
+	scr.scratch = make([]uint64, n.NumNets())
+	scr.epoch = make([]int32, n.NumNets())
+	for i := range scr.epoch {
+		scr.epoch[i] = -1
+	}
+	scr.buckets = make([][]netlist.GateID, c.maxLevel+1)
+	scr.schedEp = make([]int32, n.NumGates())
+	for i := range scr.schedEp {
+		scr.schedEp[i] = -1
+	}
+	scr.obsEp = make([]int32, c.numObs)
+	for i := range scr.obsEp {
+		scr.obsEp[i] = -1
+	}
+}
+
 // AddPattern appends a pattern word and precomputes its good-machine image.
 // Used by the ATPG generator, which grows the pattern set incrementally.
-func (s *Sim) AddPattern(p *scan.Pattern) {
+// Not safe to call while a Campaign over this simulator is running.
+func (s *simCore) AddPattern(p *scan.Pattern) {
 	st := s.N.NewState()
 	s.C.Load(st, p)
 	st.EvalComb(netlist.NoFault)
@@ -127,34 +163,34 @@ func (s *Sim) AddPattern(p *scan.Pattern) {
 }
 
 // GoodResponse returns the good-machine response words of pattern word w.
-func (s *Sim) GoodResponse(w int) []uint64 { return s.goodResp[w] }
+func (s *simCore) GoodResponse(w int) []uint64 { return s.goodResp[w] }
 
 // Run simulates fault f against every pattern. If maxFail > 0, simulation
 // stops after collecting that many failing bits (fast detection mode);
 // isolation uses maxFail = 0 to gather every failing observation point.
 func (s *Sim) Run(f netlist.Fault, maxFail int) Result {
-	return s.run(f, maxFail, 0, len(s.Patterns))
+	return s.simCore.run(&s.scr, f, maxFail, 0, len(s.Patterns))
 }
 
 // RunWord simulates fault f against pattern word w only — the ATPG
 // fault-dropping inner loop.
 func (s *Sim) RunWord(f netlist.Fault, w, maxFail int) Result {
-	return s.run(f, maxFail, w, w+1)
+	return s.simCore.run(&s.scr, f, maxFail, w, w+1)
 }
 
 // schedule enqueues a gate for (re)evaluation in the current event pass.
-func (s *Sim) schedule(g netlist.GateID) {
-	if s.schedEp[g] == s.curEp {
+func (c *simCore) schedule(scr *simScratch, g netlist.GateID) {
+	if scr.schedEp[g] == scr.curEp {
 		return
 	}
-	s.schedEp[g] = s.curEp
-	lv := s.level[g]
-	s.buckets[lv] = append(s.buckets[lv], g)
+	scr.schedEp[g] = scr.curEp
+	lv := c.level[g]
+	scr.buckets[lv] = append(scr.buckets[lv], g)
 }
 
-func (s *Sim) run(f netlist.Fault, maxFail, wLo, wHi int) Result {
+func (c *simCore) run(scr *simScratch, f netlist.Fault, maxFail, wLo, wHi int) Result {
 	res := Result{}
-	obsSeen := map[int]bool{}
+	scr.runEp++
 
 	var stuckWord uint64
 	if f.StuckAt1 {
@@ -162,27 +198,28 @@ func (s *Sim) run(f netlist.Fault, maxFail, wLo, wHi int) Result {
 	}
 
 	for w := wLo; w < wHi; w++ {
-		mask := s.Patterns[w].LaneMask()
-		good := s.goodNets[w]
+		mask := c.Patterns[w].LaneMask()
+		good := c.goodNets[w]
+		scr.words++
 
-		s.curEp++
-		for i := range s.buckets {
-			s.buckets[i] = s.buckets[i][:0]
+		scr.curEp++
+		for i := range scr.buckets {
+			scr.buckets[i] = scr.buckets[i][:0]
 		}
 
 		// record a failing observation at net if it differs from good
 		observe := func(net netlist.NetID, faulty uint64) bool {
-			oi := s.obsOfNet[net]
+			oi := c.obsOfNet[net]
 			if oi < 0 {
 				return false
 			}
-			diff := (faulty ^ s.goodResp[w][oi]) & mask
+			diff := (faulty ^ c.goodResp[w][oi]) & mask
 			if diff == 0 {
 				return false
 			}
 			res.Detected = true
-			if !obsSeen[int(oi)] {
-				obsSeen[int(oi)] = true
+			if scr.obsEp[oi] != scr.runEp {
+				scr.obsEp[oi] = scr.runEp
 				res.FailObs = append(res.FailObs, int(oi))
 			}
 			for lane := 0; lane < 64 && diff != 0; lane++ {
@@ -200,22 +237,22 @@ func (s *Sim) run(f netlist.Fault, maxFail, wLo, wHi int) Result {
 		// seed events at the fault site
 		switch {
 		case f.Gate >= 0:
-			s.schedule(f.Gate)
+			c.schedule(scr, f.Gate)
 		case f.FF >= 0:
-			q := s.N.FFs[f.FF].Q
+			q := c.N.FFs[f.FF].Q
 			if (stuckWord^good[q])&mask != 0 {
-				s.scratch[q] = stuckWord
-				s.epoch[q] = s.curEp
-				for _, r := range s.netReaders[q] {
-					s.schedule(r)
+				scr.scratch[q] = stuckWord
+				scr.epoch[q] = scr.curEp
+				for _, r := range c.netReaders[q] {
+					c.schedule(scr, r)
 				}
 			}
 			// the faulty FF's own scan-out bit reads the stuck value
-			diff := (stuckWord ^ s.goodResp[w][f.FF]) & mask
+			diff := (stuckWord ^ c.goodResp[w][f.FF]) & mask
 			if diff != 0 {
 				res.Detected = true
-				if !obsSeen[int(f.FF)] {
-					obsSeen[int(f.FF)] = true
+				if scr.obsEp[f.FF] != scr.runEp {
+					scr.obsEp[f.FF] = scr.runEp
 					res.FailObs = append(res.FailObs, int(f.FF))
 				}
 				for lane := 0; lane < 64 && diff != 0; lane++ {
@@ -232,15 +269,15 @@ func (s *Sim) run(f netlist.Fault, maxFail, wLo, wHi int) Result {
 
 		// event-driven propagation in level order
 		stop := false
-		for lv := int32(0); lv <= s.maxLevel && !stop; lv++ {
-			for bi := 0; bi < len(s.buckets[lv]); bi++ {
-				gi := s.buckets[lv][bi]
-				g := &s.N.Gates[gi]
+		for lv := int32(0); lv <= c.maxLevel && !stop; lv++ {
+			for bi := 0; bi < len(scr.buckets[lv]); bi++ {
+				gi := scr.buckets[lv][bi]
+				g := &c.N.Gates[gi]
 				var buf [8]uint64
 				ins := buf[:0]
 				for _, in := range g.In {
-					if s.epoch[in] == s.curEp {
-						ins = append(ins, s.scratch[in])
+					if scr.epoch[in] == scr.curEp {
+						ins = append(ins, scr.scratch[in])
 					} else {
 						ins = append(ins, good[in])
 					}
@@ -248,6 +285,7 @@ func (s *Sim) run(f netlist.Fault, maxFail, wLo, wHi int) Result {
 				if f.Gate == gi && f.Pin >= 0 {
 					ins[f.Pin] = stuckWord
 				}
+				scr.events++
 				v := evalGate(g.Kind, ins)
 				if f.Gate == gi && f.Pin < 0 {
 					v = stuckWord
@@ -255,14 +293,14 @@ func (s *Sim) run(f netlist.Fault, maxFail, wLo, wHi int) Result {
 				if (v^good[g.Out])&mask == 0 {
 					continue // effect died here
 				}
-				s.scratch[g.Out] = v
-				s.epoch[g.Out] = s.curEp
+				scr.scratch[g.Out] = v
+				scr.epoch[g.Out] = scr.curEp
 				if observe(g.Out, v) {
 					stop = true
 					break
 				}
-				for _, r := range s.netReaders[g.Out] {
-					s.schedule(r)
+				for _, r := range c.netReaders[g.Out] {
+					c.schedule(scr, r)
 				}
 			}
 		}

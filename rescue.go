@@ -23,7 +23,7 @@
 //
 //	sys, _ := rescue.Build(rescue.DefaultConfig(), rescue.RescueDesign)
 //	tp := sys.GenerateTests(rescue.DefaultGenConfig())
-//	rep := sys.IsolateCampaign(tp, 1000, rescue.Stages(), 1)
+//	rep := sys.IsolateCampaign(tp, 1000, rescue.Stages(), 1, 0)
 //	degr, _ := rescue.MapOut([]string{"IQ0"})
 //	rows, _ := rescue.IPCStudy(nil, 100_000, 1_000_000)
 package rescue
@@ -32,6 +32,7 @@ import (
 	"rescue/internal/area"
 	"rescue/internal/atpg"
 	"rescue/internal/core"
+	"rescue/internal/fault"
 	"rescue/internal/ici"
 	"rescue/internal/rtl"
 	"rescue/internal/uarch"
@@ -57,7 +58,21 @@ type (
 	GenConfig = atpg.GenConfig
 	// Grouping assigns components to super-components.
 	Grouping = ici.Grouping
+	// FaultCampaign shards fault simulation across workers with results
+	// bit-identical to the serial path at any worker count.
+	FaultCampaign = fault.Campaign
+	// FaultCampaignConfig tunes workers, failing-bit caps, and dropping.
+	FaultCampaignConfig = fault.CampaignConfig
+	// FaultStats records campaign work (faults simulated, words dropped,
+	// gate events, wall time).
+	FaultStats = fault.Stats
 )
+
+// NewFaultCampaign prepares a parallel fault-simulation campaign over a
+// generated test program's simulator.
+func NewFaultCampaign(tp *TestProgram, cfg FaultCampaignConfig) *FaultCampaign {
+	return fault.NewCampaign(tp.Gen.Sim, cfg)
+}
 
 // Build variants.
 const (

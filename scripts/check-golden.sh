@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Golden equivalence check for the parallel fault-simulation campaign
+# engine: regenerate the small-config Table 3 and isolation reports at two
+# different worker counts and diff them against the committed golden files.
+# Any drift — numeric or ordering — fails the build. Timings are suppressed
+# (-timing=false) so the outputs are byte-stable.
+#
+# Usage: scripts/check-golden.sh [worker counts...]   (default: 1 4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workers=("$@")
+if [ ${#workers[@]} -eq 0 ]; then
+    workers=(1 4)
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/rescue-atpg" ./cmd/rescue-atpg
+go build -o "$tmp/rescue-isolate" ./cmd/rescue-isolate
+
+fail=0
+for w in "${workers[@]}"; do
+    echo "== table3 (small), workers=$w"
+    "$tmp/rescue-atpg" -small -timing=false -workers "$w" > "$tmp/table3_small.txt"
+    if ! diff -u results/table3_small.txt "$tmp/table3_small.txt"; then
+        echo "FAIL: table3_small.txt drifted at workers=$w" >&2
+        fail=1
+    fi
+
+    echo "== isolation (small), workers=$w"
+    "$tmp/rescue-isolate" -small -per-stage 200 -multi -timing=false -workers "$w" > "$tmp/isolation_small.txt"
+    if ! diff -u results/isolation_small.txt "$tmp/isolation_small.txt"; then
+        echo "FAIL: isolation_small.txt drifted at workers=$w" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "golden check FAILED" >&2
+    exit 1
+fi
+echo "golden check OK: outputs identical to committed results at workers: ${workers[*]}"
