@@ -6,6 +6,7 @@
 package rescue_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -375,7 +376,11 @@ func BenchmarkFaultCampaign(b *testing.B) {
 			camp := fault.NewCampaign(sim, fault.CampaignConfig{Workers: w, Drop: true})
 			var st fault.Stats
 			for i := 0; i < b.N; i++ {
-				_, st = camp.Run(faults)
+				var err error
+				_, st, err = camp.Run(context.Background(), faults)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(float64(len(faults)), "faults/op")
 			b.ReportMetric(float64(st.Dropped), "dropped-word-sims")

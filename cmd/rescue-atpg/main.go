@@ -5,18 +5,24 @@
 // coverage for both designs. Fault simulation runs as a parallel campaign
 // sharded across -workers cores; output is identical at any worker count.
 //
+// The run is resilient: SIGINT/SIGTERM finish in-flight chunks, flush the
+// -checkpoint journal (if one was given), print the partial campaign
+// stats, and exit 130; rerunning with -resume rehydrates the journaled
+// work and converges bit-identically to an uninterrupted run.
+//
 // Usage:
 //
 //	rescue-atpg [-small] [-seed N] [-backtracks N] [-workers N] [-timing=false]
+//	            [-checkpoint path [-resume]] [-chaos-cancel-after N]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"rescue/internal/atpg"
+	"rescue/internal/cli"
 	"rescue/internal/core"
 	"rescue/internal/rtl"
 )
@@ -27,7 +33,16 @@ func main() {
 	backtracks := flag.Int("backtracks", 500, "PODEM backtrack limit")
 	workers := flag.Int("workers", 0, "fault-simulation workers (0 = all cores)")
 	timing := flag.Bool("timing", true, "print wall-clock timings (disable for golden diffs)")
+	checkpoint := flag.String("checkpoint", "", "campaign checkpoint journal path (enables kill-and-resume)")
+	resume := flag.Bool("resume", false, "resume a previous run from the -checkpoint journal")
+	chaosAfter := flag.Int64("chaos-cancel-after", 0, "cancel after N campaign fault-sims (chaos testing; 0 = off)")
 	flag.Parse()
+	cli.CheckWorkers(*workers)
+	cli.ArmChaos(*chaosAfter)
+	ck := cli.OpenCheckpoint(*checkpoint, *resume)
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	cfg := rtl.Default()
 	if *small {
@@ -56,10 +71,12 @@ func main() {
 		start := time.Now()
 		s, err := core.Build(cfg, v)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "build:", err)
-			os.Exit(1)
+			cli.Fatalf("build: %v", err)
 		}
-		tp := s.GenerateTests(gen)
+		tp, err := s.GenerateTestsFlow(ctx, gen, ck)
+		if err != nil {
+			cli.ExitFlow(err, tp.Gen.Stats, ck)
+		}
 		sum := s.Summary(tp)
 		rows = append(rows, sum)
 		if *timing {

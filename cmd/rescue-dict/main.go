@@ -7,14 +7,20 @@
 //
 // Usage:
 //
-//	rescue-dict build [-small] [-workers N] -o dict.csv
+//	rescue-dict build [-small] [-workers N] [-checkpoint path [-resume]]
+//	                  [-chaos-cancel-after N] -o dict.csv
 //	rescue-dict diagnose [-small] -d dict.csv -bits 12,57,103
 //
 // Dictionary construction fan-outs across -workers cores (0 = all); the
-// dictionary is bit-identical at any worker count.
+// dictionary is bit-identical at any worker count. The build is resilient:
+// SIGINT/SIGTERM finish in-flight chunks, flush the -checkpoint journal
+// (if one was given), print the partial campaign stats, and exit 130;
+// rerunning with -resume rehydrates the journaled work and converges
+// bit-identically to an uninterrupted build.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"rescue/internal/atpg"
+	"rescue/internal/cli"
 	"rescue/internal/core"
 	"rescue/internal/fault"
 	"rescue/internal/rtl"
@@ -44,22 +51,25 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: rescue-dict build|diagnose [flags]")
-	os.Exit(2)
+	os.Exit(cli.ExitUsage)
 }
 
-func system(small bool, workers int) (*core.System, *core.TestProgram) {
+func system(ctx context.Context, small bool, workers int, ck *fault.Checkpoint) (*core.System, *core.TestProgram) {
 	cfg := rtl.Default()
 	if small {
 		cfg = rtl.Small()
 	}
 	sys, err := core.Build(cfg, rtl.RescueDesign)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatalf("build: %v", err)
 	}
 	gen := atpg.DefaultGenConfig()
 	gen.Workers = workers
-	return sys, sys.GenerateTests(gen)
+	tp, err := sys.GenerateTestsFlow(ctx, gen, ck)
+	if err != nil {
+		cli.ExitFlow(err, tp.Gen.Stats, ck)
+	}
+	return sys, tp
 }
 
 func build(args []string) {
@@ -67,26 +77,36 @@ func build(args []string) {
 	small := fs.Bool("small", false, "use the reduced (2-way) configuration")
 	workers := fs.Int("workers", 0, "fault-simulation workers (0 = all cores)")
 	out := fs.String("o", "", "output CSV (required)")
+	checkpoint := fs.String("checkpoint", "", "campaign checkpoint journal path (enables kill-and-resume)")
+	resume := fs.Bool("resume", false, "resume a previous build from the -checkpoint journal")
+	chaosAfter := fs.Int64("chaos-cancel-after", 0, "cancel after N campaign fault-sims (chaos testing; 0 = off)")
 	fs.Parse(args)
+	cli.CheckWorkers(*workers)
+	cli.ArmChaos(*chaosAfter)
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "build: -o required")
-		os.Exit(2)
+		cli.Usagef("build: -o required")
 	}
-	sys, tp := system(*small, *workers)
+	ck := cli.OpenCheckpoint(*checkpoint, *resume)
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	sys, tp := system(ctx, *small, *workers, ck)
 	fmt.Printf("building dictionary over %d collapsed faults, %d vectors...\n",
 		tp.Universe.CountCollapsed(), tp.Gen.Vectors)
-	d, st := fault.BuildDictionaryWorkers(tp.Gen.Sim, tp.Universe, *workers)
+	d, st, err := fault.BuildDictionaryFlow(ctx, tp.Gen.Sim, tp.Universe, *workers, ck)
+	if err != nil {
+		cli.ExitFlow(err, st, ck)
+	}
 	fmt.Printf("campaign: %d fault-sims, %d word-sims, %d gate events, %d workers, %s\n",
 		st.Faults, st.Words, st.Events, st.Workers, st.Wall.Round(time.Millisecond))
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatalf("%v", err)
 	}
 	defer f.Close()
 	if err := d.WriteCSV(f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatalf("%v", err)
 	}
 	fmt.Printf("%d/%d faults detected; dictionary written to %s\n",
 		d.Detected(), tp.Universe.CountCollapsed(), *out)
@@ -100,34 +120,29 @@ func diagnose(args []string) {
 	bits := fs.String("bits", "", "comma-separated failing observation indices (required)")
 	fs.Parse(args)
 	if *dict == "" || *bits == "" {
-		fmt.Fprintln(os.Stderr, "diagnose: -d and -bits required")
-		os.Exit(2)
+		cli.Usagef("diagnose: -d and -bits required")
 	}
 	f, err := os.Open(*dict)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatalf("%v", err)
 	}
 	defer f.Close()
 	d, err := fault.ReadCSV(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatalf("%v", err)
 	}
 	var obs []int
 	for _, p := range strings.Split(*bits, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Usagef("diagnose: bad -bits entry %q: %v", p, err)
 		}
 		obs = append(obs, v)
 	}
-	sys, tp := system(*small, 0)
+	sys, tp := system(context.Background(), *small, 0, nil)
 	if len(d.Syndromes) != tp.Universe.CountCollapsed() {
-		fmt.Fprintf(os.Stderr, "dictionary has %d rows but the design has %d faults (wrong -small?)\n",
+		cli.Fatalf("dictionary has %d rows but the design has %d faults (wrong -small?)",
 			len(d.Syndromes), tp.Universe.CountCollapsed())
-		os.Exit(1)
 	}
 	cands := d.Lookup(obs)
 	fmt.Printf("%d candidate faults for syndrome %v\n", len(cands), obs)

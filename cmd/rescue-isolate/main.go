@@ -6,9 +6,16 @@
 // is checked against the ground-truth fault site. The paper's result: all
 // 6000 faults isolate correctly.
 //
+// The run is resilient: SIGINT/SIGTERM finish in-flight chunks, flush the
+// -checkpoint journal (if one was given), print the partial campaign
+// stats, and exit 130; rerunning with -resume rehydrates the journaled
+// work and converges bit-identically to an uninterrupted run.
+//
 // Usage:
 //
-//	rescue-isolate [-small] [-per-stage N] [-seed N] [-multi] [-workers N] [-timing=false]
+//	rescue-isolate [-small] [-per-stage N] [-seed N] [-multi] [-workers N]
+//	               [-timing=false] [-checkpoint path [-resume]]
+//	               [-chaos-cancel-after N]
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"time"
 
 	"rescue/internal/atpg"
+	"rescue/internal/cli"
 	"rescue/internal/core"
 	"rescue/internal/rtl"
 )
@@ -29,7 +37,16 @@ func main() {
 	multi := flag.Bool("multi", false, "also run the multi-fault isolation corollary")
 	workers := flag.Int("workers", 0, "fault-simulation workers (0 = all cores)")
 	timing := flag.Bool("timing", true, "print wall-clock timings (disable for golden diffs)")
+	checkpoint := flag.String("checkpoint", "", "campaign checkpoint journal path (enables kill-and-resume)")
+	resume := flag.Bool("resume", false, "resume a previous run from the -checkpoint journal")
+	chaosAfter := flag.Int64("chaos-cancel-after", 0, "cancel after N campaign fault-sims (chaos testing; 0 = off)")
 	flag.Parse()
+	cli.CheckWorkers(*workers)
+	cli.ArmChaos(*chaosAfter)
+	ck := cli.OpenCheckpoint(*checkpoint, *resume)
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	cfg := rtl.Default()
 	if *small {
@@ -38,19 +55,20 @@ func main() {
 	start := time.Now()
 	s, err := core.Build(cfg, rtl.RescueDesign)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "build:", err)
-		os.Exit(1)
+		cli.Fatalf("build: %v", err)
 	}
 	if !s.Audit.OK() {
-		fmt.Fprintf(os.Stderr, "ICI audit failed: %d violations\n", len(s.Audit.Violations))
-		os.Exit(1)
+		cli.Fatalf("ICI audit failed: %d violations", len(s.Audit.Violations))
 	}
 	fmt.Printf("built %s: %d gates, %d scan cells; ICI audit clean\n",
 		s.Design.N.Name, s.Design.N.NumGates(), s.Design.N.NumFFs())
 
 	gen := atpg.DefaultGenConfig()
 	gen.Workers = *workers
-	tp := s.GenerateTests(gen)
+	tp, err := s.GenerateTestsFlow(ctx, gen, ck)
+	if err != nil {
+		cli.ExitFlow(err, tp.Gen.Stats, ck)
+	}
 	if *timing {
 		fmt.Printf("ATPG: %d vectors, %.2f%% coverage (%s)\n",
 			tp.Gen.Vectors, tp.Gen.Coverage*100, time.Since(start).Round(time.Millisecond))
@@ -58,7 +76,10 @@ func main() {
 		fmt.Printf("ATPG: %d vectors, %.2f%% coverage\n", tp.Gen.Vectors, tp.Gen.Coverage*100)
 	}
 
-	rep := s.IsolateCampaign(tp, *perStage, core.Stages(), *seed, *workers)
+	rep, err := s.IsolateCampaignFlow(ctx, tp, *perStage, core.Stages(), *seed, *workers, ck)
+	if err != nil {
+		cli.ExitFlow(err, rep.Stats, ck)
+	}
 	fmt.Println()
 	fmt.Printf("%-10s %9s %9s %7s %10s\n", "stage", "sampled", "isolated", "wrong", "ambiguous")
 	for _, st := range core.Stages() {
@@ -77,11 +98,14 @@ func main() {
 	}
 
 	if *multi {
-		ok, trials := s.MultiFaultIsolation(tp, 200, 3, *seed, *workers)
+		ok, trials, err := s.MultiFaultIsolationFlow(ctx, tp, 200, 3, *seed, *workers, ck)
+		if err != nil {
+			cli.ExitFlow(err, rep.Stats, ck)
+		}
 		fmt.Printf("multi-fault corollary: %d/%d trials — all simultaneous faults in\n", ok, trials)
 		fmt.Println("distinct super-components isolated by one pattern set")
 	}
 	if rep.Wrong+rep.Ambiguous > 0 {
-		os.Exit(1)
+		os.Exit(cli.ExitRuntime)
 	}
 }

@@ -5,16 +5,16 @@
 // Usage:
 //
 //	rescue-sim [-params] [-bench name,name,...] [-warmup N] [-commit N]
-//	           [-degraded fe,ib,fb,iqi,iqf,lsq]
+//	           [-workers N] [-degraded fe,ib,fb,iqi,iqf,lsq]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
+	"rescue/internal/cli"
 	"rescue/internal/core"
 	"rescue/internal/uarch"
 	"rescue/internal/workload"
@@ -26,8 +26,10 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 23)")
 	warmup := flag.Int64("warmup", 100_000, "warmup instructions")
 	commit := flag.Int64("commit", 1_000_000, "measured instructions")
+	workers := flag.Int("workers", 0, "simulation workers (0 = all cores)")
 	degraded := flag.String("degraded", "", "degraded config counts: fe,ib,fb,iqi,iqf,lsq")
 	flag.Parse()
+	cli.CheckWorkers(*workers)
 
 	if *params {
 		printParams()
@@ -49,10 +51,9 @@ func main() {
 		return
 	}
 
-	rows, err := core.IPCStudy(names, *warmup, *commit)
+	rows, err := core.IPCStudyWorkers(names, *warmup, *commit, *workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatalf("%v", err)
 	}
 	fmt.Println("Figure 8: IPC degradation (paper: 0% (swim) to 10% (bzip), mean 4%)")
 	fmt.Println()
@@ -75,8 +76,7 @@ func runReport(names []string, warmup, commit int64) {
 	for _, name := range names {
 		prof, err := workload.ByName(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Usagef("%v", err)
 		}
 		for _, rescueMachine := range []bool{false, true} {
 			p := uarch.DefaultParams()
@@ -87,8 +87,7 @@ func runReport(names []string, warmup, commit int64) {
 			}
 			s, err := uarch.New(p, prof)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				cli.Fatalf("%v", err)
 			}
 			s.Run(warmup, commit)
 			fmt.Printf("=== %s / %s ===\n%s\n", name, label, s.Report())
@@ -99,15 +98,13 @@ func runReport(names []string, warmup, commit int64) {
 func runDegraded(names []string, spec string, warmup, commit int64) {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 6 {
-		fmt.Fprintln(os.Stderr, "need 6 comma-separated counts: fe,ib,fb,iqi,iqf,lsq")
-		os.Exit(1)
+		cli.Usagef("-degraded needs 6 comma-separated counts: fe,ib,fb,iqi,iqf,lsq")
 	}
 	var v [6]int
 	for i, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Usagef("-degraded: bad count %q: %v", p, err)
 		}
 		v[i] = n
 	}
@@ -125,22 +122,19 @@ func runDegraded(names []string, spec string, warmup, commit int64) {
 	for _, name := range names {
 		prof, err := workload.ByName(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Usagef("%v", err)
 		}
 		pf := uarch.RescueParams()
 		sf, err := uarch.New(pf, prof)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatalf("%v", err)
 		}
 		full := sf.Run(warmup, commit).IPC()
 		pd := uarch.RescueParams()
 		pd.Degr = d
 		sd, err := uarch.New(pd, prof)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatalf("%v", err)
 		}
 		deg := sd.Run(warmup, commit).IPC()
 		fmt.Printf("%-10s %9.3f %10.3f %6.1f%%\n", name, full, deg, (1-deg/full)*100)

@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"rescue/internal/fault"
@@ -50,8 +52,26 @@ type GenResult struct {
 }
 
 // Generate runs the full ATPG flow on a scan-inserted netlist: a random
-// phase with fault dropping, then PODEM for the survivors.
+// phase with fault dropping, then PODEM for the survivors. It is the
+// uninterruptible wrapper around GenerateFlow; it panics if the flow
+// reports an error, which cannot happen without a cancellable context, a
+// checkpoint, or an armed chaos budget.
 func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
+	g, err := GenerateFlow(context.Background(), c, u, cfg, nil)
+	if err != nil {
+		panic(fmt.Sprintf("atpg: Generate failed: %v", err))
+	}
+	return g
+}
+
+// GenerateFlow is Generate with cooperative cancellation and an optional
+// campaign checkpoint journal. The flow is deterministic for a given
+// (config, netlist): on resume it is re-executed from the start and every
+// journaled fault-dropping campaign rehydrates instead of simulating, so
+// a killed-and-resumed generation is bit-identical to an uninterrupted
+// one. On cancellation the partial GenResult (with its campaign Stats so
+// far) is returned alongside the error.
+func GenerateFlow(ctx context.Context, c *scan.Chain, u *fault.Universe, cfg GenConfig, ck *fault.Checkpoint) (*GenResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sim := fault.NewSim(c, nil)
 	n := c.N
@@ -62,16 +82,40 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 	}
 	nRemaining := len(remaining)
 	detected := 0
+	vectors := 0
+	untestable, aborted := 0, 0
 
 	// One campaign serves every dropWord pass, so per-worker scratch state
 	// is allocated once. MaxFail=1: detection-only, the coverage loop never
 	// needs more than the first failing bit.
 	camp := fault.NewCampaign(sim, fault.CampaignConfig{Workers: cfg.Workers, MaxFail: 1})
 	var campStats fault.Stats
+
+	// partial assembles the result from whatever the flow has finished —
+	// the complete answer on success, the progress record on interrupt.
+	partial := func() *GenResult {
+		res := &GenResult{
+			Sim:        sim,
+			Vectors:    vectors,
+			Faults:     u.CountAll(),
+			Collapsed:  u.CountCollapsed(),
+			Detected:   detected,
+			Untestable: untestable,
+			Aborted:    aborted,
+			ScanCells:  c.Cells(),
+			Cycles:     c.TestCycles(vectors),
+			Stats:      campStats,
+		}
+		if d := u.CountCollapsed() - untestable; d > 0 {
+			res.Coverage = float64(detected) / float64(d)
+		}
+		return res
+	}
+
 	aliveIdx := make([]int, 0, nRemaining)
 	aliveFaults := make([]netlist.Fault, 0, nRemaining)
 
-	dropWord := func(w int) int {
+	dropWord := func(w int) (int, error) {
 		aliveIdx = aliveIdx[:0]
 		aliveFaults = aliveFaults[:0]
 		for i, alive := range remaining {
@@ -81,8 +125,11 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 			aliveIdx = append(aliveIdx, i)
 			aliveFaults = append(aliveFaults, u.Collapsed[i])
 		}
-		results, st := camp.RunWords(aliveFaults, w, w+1)
+		results, st, err := camp.RunWordsCheckpoint(ctx, ck, aliveFaults, w, w+1)
 		campStats.Add(st)
+		if err != nil {
+			return 0, err
+		}
 		dropped := 0
 		for k, res := range results {
 			if res.Detected {
@@ -92,7 +139,7 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 				dropped++
 			}
 		}
-		return dropped
+		return dropped, nil
 	}
 
 	randomWord := func() *scan.Pattern {
@@ -108,11 +155,14 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 
 	// Phase 1: random patterns with fault dropping.
 	useless := 0
-	vectors := 0
 	for w := 0; w < cfg.MaxRandomWords && nRemaining > 0 && useless < cfg.UselessLimit; w++ {
 		sim.AddPattern(randomWord())
 		vectors += 64
-		if dropWord(len(sim.Patterns)-1) == 0 {
+		d, err := dropWord(len(sim.Patterns) - 1)
+		if err != nil {
+			return partial(), err
+		}
+		if d == 0 {
 			useless++
 		} else {
 			useless = 0
@@ -121,18 +171,18 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 
 	// Phase 2: PODEM for survivors, packing cubes 64 to a word with random
 	// X-fill. Each filled word is fault-simulated to drop secondaries.
-	untestable, aborted := 0, 0
 	var cur *scan.Pattern
 	curLanes := 0
-	flush := func() {
+	flush := func() error {
 		if cur == nil || curLanes == 0 {
-			return
+			return nil
 		}
 		cur.Lanes = curLanes
 		sim.AddPattern(cur)
 		vectors += curLanes
-		dropWord(len(sim.Patterns) - 1)
+		_, err := dropWord(len(sim.Patterns) - 1)
 		cur, curLanes = nil, 0
+		return err
 	}
 	fillBit := func(v V3) uint64 {
 		switch v {
@@ -147,6 +197,12 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 	for i := range remaining {
 		if !remaining[i] {
 			continue
+		}
+		// PODEM runs are serial CPU work outside the campaign engine; check
+		// for cancellation between faults so a Ctrl-C lands promptly here
+		// too.
+		if err := ctx.Err(); err != nil {
+			return partial(), context.Cause(ctx)
 		}
 		cube, res := Podem(n, u.Collapsed[i], cfg.MaxBacktracks)
 		switch res {
@@ -171,7 +227,9 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 		}
 		curLanes++
 		if curLanes == 64 {
-			flush()
+			if err := flush(); err != nil {
+				return partial(), err
+			}
 			if !remaining[i] {
 				// the cube's own word should have detected it; if random
 				// fill masked it (can't for a true PODEM test), it stays
@@ -188,24 +246,10 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 			detected++
 		}
 	}
-	flush()
-
-	res := &GenResult{
-		Sim:        sim,
-		Vectors:    vectors,
-		Faults:     u.CountAll(),
-		Collapsed:  u.CountCollapsed(),
-		Detected:   detected,
-		Untestable: untestable,
-		Aborted:    aborted,
-		ScanCells:  c.Cells(),
-		Cycles:     c.TestCycles(vectors),
-		Stats:      campStats,
+	if err := flush(); err != nil {
+		return partial(), err
 	}
-	if d := u.CountCollapsed() - untestable; d > 0 {
-		res.Coverage = float64(detected) / float64(d)
-	}
-	return res
+	return partial(), nil
 }
 
 // CompactReverse performs reverse-order static compaction: vectors are
@@ -215,13 +259,24 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 // this pass approximates it. Each trial detection sweep is a parallel
 // campaign with fault dropping (detection-only, workers <= 0 = all cores).
 func CompactReverse(c *scan.Chain, u *fault.Universe, g *GenResult, workers int) int {
+	n, err := CompactReverseContext(context.Background(), c, u, g, workers)
+	if err != nil {
+		panic(fmt.Sprintf("atpg: CompactReverse failed: %v", err))
+	}
+	return n
+}
+
+// CompactReverseContext is CompactReverse with cooperative cancellation:
+// each trial detection sweep aborts at chunk granularity when ctx is
+// cancelled, and the error carries the cancellation cause.
+func CompactReverseContext(ctx context.Context, c *scan.Chain, u *fault.Universe, g *GenResult, workers int) (int, error) {
 	// Build per-vector detection sets lazily is expensive; approximate by
 	// word granularity: try dropping whole 64-lane words from the end.
 	kept := make([]bool, len(g.Sim.Patterns))
 	for i := range kept {
 		kept[i] = true
 	}
-	detectedBy := func(words []bool) int {
+	detectedBy := func(words []bool) (int, error) {
 		sim := fault.NewSim(c, nil)
 		for w, k := range words {
 			if k {
@@ -229,19 +284,29 @@ func CompactReverse(c *scan.Chain, u *fault.Universe, g *GenResult, workers int)
 			}
 		}
 		camp := fault.NewCampaign(sim, fault.CampaignConfig{Workers: workers, Drop: true})
-		results, _ := camp.Run(u.Collapsed)
+		results, _, err := camp.Run(ctx, u.Collapsed)
+		if err != nil {
+			return 0, err
+		}
 		n := 0
 		for _, res := range results {
 			if res.Detected {
 				n++
 			}
 		}
-		return n
+		return n, nil
 	}
-	full := detectedBy(kept)
+	full, err := detectedBy(kept)
+	if err != nil {
+		return 0, err
+	}
 	for w := len(kept) - 1; w >= 0; w-- {
 		kept[w] = false
-		if detectedBy(kept) < full {
+		d, err := detectedBy(kept)
+		if err != nil {
+			return 0, err
+		}
+		if d < full {
 			kept[w] = true
 		}
 	}
@@ -251,5 +316,5 @@ func CompactReverse(c *scan.Chain, u *fault.Universe, g *GenResult, workers int)
 			vectors += g.Sim.Patterns[w].Lanes
 		}
 	}
-	return vectors
+	return vectors, nil
 }

@@ -1,0 +1,106 @@
+// Package cli holds plumbing shared by the rescue commands: flag
+// validation with usage-style exits, signal-driven contexts, checkpoint
+// opening, and the exit-code convention —
+//
+//	0    success
+//	1    runtime failure (build error, I/O, worker panic)
+//	2    usage error (bad flags or arguments)
+//	130  interrupted (SIGINT/SIGTERM or chaos budget); in-flight work was
+//	     finished and any checkpoint journal flushed before exiting
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rescue/internal/fault"
+)
+
+// Exit codes.
+const (
+	ExitRuntime     = 1
+	ExitUsage       = 2
+	ExitInterrupted = 130
+)
+
+// Usagef reports a usage error on stderr and exits with code 2.
+func Usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "usage error: "+format+"\n", args...)
+	os.Exit(ExitUsage)
+}
+
+// Fatalf reports a runtime error on stderr and exits with code 1.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(ExitRuntime)
+}
+
+// CheckWorkers validates a -workers flag: negative counts are a usage
+// error (0 means all cores).
+func CheckWorkers(workers int) {
+	if workers < 0 {
+		Usagef("-workers must be >= 0 (0 = all cores), got %d", workers)
+	}
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM. Flows
+// observe the cancellation at chunk boundaries: in-flight chunks finish,
+// the checkpoint journal (if any) is flushed, and the command exits 130.
+// A second signal kills the process the hard way (Go default behavior is
+// restored once the context fires).
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// OpenCheckpoint validates and opens the -checkpoint/-resume flag pair.
+// An empty path (checkpointing off) returns nil; -resume without
+// -checkpoint is a usage error; refusing to clobber an existing journal
+// without -resume is a runtime error with guidance.
+func OpenCheckpoint(path string, resume bool) *fault.Checkpoint {
+	if resume && path == "" {
+		Usagef("-resume requires -checkpoint <path>")
+	}
+	if path == "" {
+		return nil
+	}
+	ck, err := fault.OpenCheckpoint(path, resume)
+	if err != nil {
+		Fatalf("checkpoint: %v", err)
+	}
+	return ck
+}
+
+// ArmChaos arms the process-wide chaos budget from a -chaos-cancel-after
+// flag: after n campaign fault simulations every campaign cancels as if
+// interrupted. 0 leaves chaos off; negative budgets are a usage error.
+func ArmChaos(n int64) {
+	if n < 0 {
+		Usagef("-chaos-cancel-after must be >= 0, got %d", n)
+	}
+	if n > 0 {
+		fault.ChaosCancelAfterSims(n)
+	}
+}
+
+// ExitFlow reports a flow error and exits with the conventional code:
+// cooperative interruptions (signal, deadline, chaos budget) print the
+// partial campaign stats and the journal path, then exit 130; anything
+// else — a worker panic included — exits 1.
+func ExitFlow(err error, st fault.Stats, ck *fault.Checkpoint) {
+	if fault.Interrupted(err) {
+		fmt.Fprintf(os.Stderr, "interrupted: %v\n", err)
+		fmt.Fprintf(os.Stderr,
+			"partial campaign: %d fault-sims (%d rehydrated), %d word-sims, %d dropped, %d gate events, %s\n",
+			st.Faults, st.Rehydrated, st.Words, st.Dropped, st.Events,
+			st.Wall.Round(time.Millisecond))
+		if ck != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint journal: %s — rerun with -resume to continue\n", ck.Path())
+		}
+		os.Exit(ExitInterrupted)
+	}
+	Fatalf("%v", err)
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"rescue/internal/atpg"
@@ -54,6 +55,16 @@ type TestProgram struct {
 func (s *System) GenerateTests(cfg atpg.GenConfig) *TestProgram {
 	u := fault.NewUniverse(s.Design.N)
 	return &TestProgram{Universe: u, Gen: atpg.Generate(s.Chain, u, cfg)}
+}
+
+// GenerateTestsFlow is GenerateTests with cooperative cancellation and an
+// optional campaign checkpoint journal (see atpg.GenerateFlow). On
+// interrupt the partial TestProgram — carrying the campaign Stats so far —
+// is returned alongside the error.
+func (s *System) GenerateTestsFlow(ctx context.Context, cfg atpg.GenConfig, ck *fault.Checkpoint) (*TestProgram, error) {
+	u := fault.NewUniverse(s.Design.N)
+	g, err := atpg.GenerateFlow(ctx, s.Chain, u, cfg, ck)
+	return &TestProgram{Universe: u, Gen: g}, err
 }
 
 // ScanSummary is one design's row of the paper's Table 3.

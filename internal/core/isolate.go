@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -44,7 +46,23 @@ func Stages() []string {
 // dropping off — isolation needs every failing observation point. Faults
 // are batch-simulated in sampling order and the report walk replays the
 // serial logic exactly, so the outcome is identical at any worker count.
+// It panics if the flow errors, which cannot happen without a cancellable
+// context, a checkpoint, or an armed chaos budget.
 func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string, seed int64, workers int) IsolationReport {
+	rep, err := s.IsolateCampaignFlow(context.Background(), tp, perStage, stages, seed, workers, nil)
+	if err != nil {
+		panic(fmt.Sprintf("core: IsolateCampaign failed: %v", err))
+	}
+	return rep
+}
+
+// IsolateCampaignFlow is IsolateCampaign with cooperative cancellation and
+// an optional campaign checkpoint journal: the sampling sequence is fully
+// determined by the seed, so a killed run's journaled batches rehydrate on
+// resume and the report converges bit-identically to an uninterrupted run
+// at any worker count. On interrupt the partial report — carrying the
+// campaign Stats so far — is returned alongside the error.
+func (s *System) IsolateCampaignFlow(ctx context.Context, tp *TestProgram, perStage int, stages []string, seed int64, workers int, ck *fault.Checkpoint) (IsolationReport, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := s.Design.N
 	rep := IsolationReport{PerStage: map[string]StageIsolation{}}
@@ -90,8 +108,12 @@ func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string,
 				for k := 0; k < batch; k++ {
 					faults[k] = cands[perm[simmed+k]]
 				}
-				res, cst := camp.Run(faults)
+				res, cst, err := camp.RunCheckpoint(ctx, ck, faults)
 				rep.Stats.Add(cst)
+				if err != nil {
+					rep.PerStage[stage] = st
+					return rep, err
+				}
 				results = append(results, res...)
 				simmed += batch
 			}
@@ -120,7 +142,7 @@ func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string,
 		}
 		rep.PerStage[stage] = st
 	}
-	return rep
+	return rep, nil
 }
 
 // MultiFaultIsolation exercises the ICI corollary of Section 3.1: faults
@@ -135,7 +157,21 @@ func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string,
 //
 // Sampling depends only on the seed, so all trials' faults are drawn
 // first and simulated as one campaign across workers (<= 0 = all cores).
+// It panics if the flow errors, which cannot happen without a cancellable
+// context, a checkpoint, or an armed chaos budget.
 func (s *System) MultiFaultIsolation(tp *TestProgram, trials, nFaults int, seed int64, workers int) (ok, total int) {
+	ok, total, err := s.MultiFaultIsolationFlow(context.Background(), tp, trials, nFaults, seed, workers, nil)
+	if err != nil {
+		panic(fmt.Sprintf("core: MultiFaultIsolation failed: %v", err))
+	}
+	return ok, total
+}
+
+// MultiFaultIsolationFlow is MultiFaultIsolation with cooperative
+// cancellation and an optional campaign checkpoint journal: the single
+// deduplicated campaign resumes at chunk granularity after a kill and the
+// trial outcomes are bit-identical to an uninterrupted run.
+func (s *System) MultiFaultIsolationFlow(ctx context.Context, tp *TestProgram, trials, nFaults int, seed int64, workers int, ck *fault.Checkpoint) (ok, total int, err error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := s.Design.N
 	var cands []netlist.Fault
@@ -186,7 +222,10 @@ func (s *System) MultiFaultIsolation(tp *TestProgram, trials, nFaults int, seed 
 		return !a.StuckAt1 && b.StuckAt1
 	})
 	camp := fault.NewCampaign(tp.Gen.Sim, fault.CampaignConfig{Workers: workers})
-	results, _ := camp.Run(all)
+	results, _, err := camp.RunCheckpoint(ctx, ck, all)
+	if err != nil {
+		return 0, 0, err
+	}
 	resOf := make(map[netlist.Fault]fault.Result, len(all))
 	for i, f := range all {
 		resOf[f] = results[i]
@@ -216,7 +255,7 @@ func (s *System) MultiFaultIsolation(tp *TestProgram, trials, nFaults int, seed 
 			ok++
 		}
 	}
-	return ok, total
+	return ok, total, nil
 }
 
 // StageNames lists stages present in the design, sorted (debug helper).

@@ -51,9 +51,11 @@ func runIPC(p uarch.Params, prof workload.Profile, warmup, commit int64) (float6
 	return s.Run(warmup, commit).IPC(), nil
 }
 
-// parallelMap runs jobs across CPUs.
-func parallelMap(n int, f func(i int)) {
-	workers := runtime.NumCPU()
+// parallelMap runs jobs across workers goroutines (<= 0 = all CPUs).
+func parallelMap(n, workers int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > n {
 		workers = n
 	}
@@ -79,13 +81,20 @@ func parallelMap(n int, f func(i int)) {
 // given benchmarks (nil = all 23). Workers accumulate into disjoint
 // per-index slots — no shared state, nothing to lock.
 func IPCStudy(benchNames []string, warmup, commit int64) ([]IPCRow, error) {
+	return IPCStudyWorkers(benchNames, warmup, commit, 0)
+}
+
+// IPCStudyWorkers is IPCStudy with an explicit simulation concurrency
+// degree (<= 0 = all cores). Rows land in disjoint per-index slots, so the
+// result is identical at any worker count.
+func IPCStudyWorkers(benchNames []string, warmup, commit int64, workers int) ([]IPCRow, error) {
 	profs, err := resolve(benchNames)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]IPCRow, len(profs))
 	errs := make([]error, len(profs))
-	parallelMap(len(profs), func(i int) {
+	parallelMap(len(profs), workers, func(i int) {
 		base, err1 := runIPC(uarch.DefaultParams(), profs[i], warmup, commit)
 		resc, err2 := runIPC(uarch.RescueParams(), profs[i], warmup, commit)
 		if err1 != nil {
@@ -174,7 +183,7 @@ func BuildPerfModel(node area.Scaling, benchNames []string, warmup, commit int64
 	}
 	results := make([]float64, len(jobs))
 	errs := make([]error, len(jobs))
-	parallelMap(len(jobs), func(i int) {
+	parallelMap(len(jobs), 0, func(i int) {
 		j := jobs[i]
 		var p uarch.Params
 		if j.cfg < 0 {

@@ -1,7 +1,11 @@
 package fault
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,13 +16,14 @@ import (
 // Stats counts what a campaign (or one of its runs) actually did — the
 // observability record the CLIs print.
 type Stats struct {
-	Faults   int64 // fault simulations performed
-	Detected int64 // faults the pattern set detected
-	Dropped  int64 // (fault, word) sims skipped after the failing-bit cap hit
-	Words    int64 // (fault, word) pairs event-simulated
-	Events   int64 // gate evaluations performed
-	Wall     time.Duration
-	Workers  int
+	Faults     int64 // fault simulations performed
+	Detected   int64 // faults the pattern set detected
+	Dropped    int64 // (fault, word) sims skipped after the failing-bit cap hit
+	Words      int64 // (fault, word) pairs event-simulated
+	Events     int64 // gate evaluations performed
+	Rehydrated int64 // results restored from a checkpoint journal, not simulated
+	Wall       time.Duration
+	Workers    int
 }
 
 // Add accumulates another run's stats (wall times sum; workers keep the max).
@@ -28,11 +33,75 @@ func (s *Stats) Add(o Stats) {
 	s.Dropped += o.Dropped
 	s.Words += o.Words
 	s.Events += o.Events
+	s.Rehydrated += o.Rehydrated
 	s.Wall += o.Wall
 	if o.Workers > s.Workers {
 		s.Workers = o.Workers
 	}
 }
+
+// ErrCampaignBusy is returned when Run/RunWords is called while another run
+// on the same Campaign is still in flight. Overlapping runs would share the
+// per-worker scratch state and corrupt both results silently; the guard
+// turns that latent hazard into an immediate error.
+var ErrCampaignBusy = errors.New("fault: campaign already running — Run/RunWords calls must not overlap")
+
+// ErrChaosCancel is the cancellation cause injected by the chaos harness
+// (ChaosCancelAfterSims) to simulate an operator interrupt at a
+// deterministic amount of completed work.
+var ErrChaosCancel = errors.New("fault: chaos harness simulated an interrupt")
+
+// PanicError reports a panic recovered inside a campaign worker. The
+// offending fault index is preserved so the defect is reproducible with a
+// single serial simulation; sibling workers are cancelled and drain at the
+// next chunk boundary, so one bad fault site cannot take down the process.
+type PanicError struct {
+	FaultIndex int    // index into the run's fault slice (-1 if outside a sim)
+	Value      any    // the recovered panic value
+	Stack      []byte // stack of the panicking worker
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("fault: campaign worker panicked on fault index %d: %v", e.FaultIndex, e.Value)
+}
+
+// Interrupted reports whether err is a cooperative-cancellation outcome —
+// a caller context cancel/deadline or a chaos-harness interrupt — as
+// opposed to a hard failure such as a worker panic. Interrupted runs leave
+// valid journaled work behind and are the ones worth resuming.
+func Interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrChaosCancel)
+}
+
+// Chaos harness: an armed process-wide simulation budget. Once the total
+// number of fault simulations crosses the limit, every running campaign
+// cancels itself (cause ErrChaosCancel) at its next chunk boundary — a
+// deterministic stand-in for Ctrl-C used by CI's kill-and-resume checks.
+var (
+	chaosLimit atomic.Int64
+	chaosSims  atomic.Int64
+)
+
+// ChaosCancelAfterSims arms (n > 0) or disarms (n <= 0) the chaos budget
+// and resets the simulation counter. Rehydrated checkpoint results do not
+// count against the budget, so a resumed run proceeds past the point where
+// the previous run was "killed".
+func ChaosCancelAfterSims(n int64) {
+	chaosSims.Store(0)
+	chaosLimit.Store(n)
+}
+
+func chaosTripped() bool {
+	limit := chaosLimit.Load()
+	return limit > 0 && chaosSims.Load() >= limit
+}
+
+// campaignSimHook, when non-nil, runs before every fault simulation. The
+// chaos tests use it to inject panics and cancellations at exact fault
+// indices; it must be set before any campaign starts and never during one.
+var campaignSimHook func(faultIndex int)
 
 // CampaignConfig tunes a fault-simulation campaign.
 type CampaignConfig struct {
@@ -57,12 +126,14 @@ type CampaignConfig struct {
 // serial path regardless of worker count.
 //
 // A Campaign reuses its per-worker scratch state across runs, so create it
-// once and call Run/RunWords repeatedly; calls must not overlap, and the
+// once and call Run/RunWords repeatedly. Calls must not overlap: an atomic
+// in-use guard rejects a second concurrent run with ErrCampaignBusy. The
 // underlying Sim's pattern set must not grow during a run.
 type Campaign struct {
-	cfg  CampaignConfig
-	core *simCore
-	scr  []*simScratch
+	cfg   CampaignConfig
+	core  *simCore
+	scr   []*simScratch
+	inUse atomic.Bool
 }
 
 // NewCampaign prepares a campaign over s's netlist and pattern set.
@@ -79,18 +150,39 @@ func NewCampaign(s *Sim, cfg CampaignConfig) *Campaign {
 // Workers reports the configured concurrency degree.
 func (c *Campaign) Workers() int { return c.cfg.Workers }
 
-// Run simulates every fault against the full pattern set.
-func (c *Campaign) Run(faults []netlist.Fault) ([]Result, Stats) {
-	return c.run(faults, 0, len(c.core.Patterns))
+// Run simulates every fault against the full pattern set. Cancellation is
+// cooperative at chunk granularity: when ctx is cancelled, in-flight chunks
+// finish, results computed so far stay valid in the returned slice, and the
+// error carries the cancellation cause (or a PanicError if a worker died).
+func (c *Campaign) Run(ctx context.Context, faults []netlist.Fault) ([]Result, Stats, error) {
+	return c.run(ctx, nil, faults, 0, len(c.core.Patterns))
 }
 
 // RunWords simulates every fault against pattern words [wLo, wHi) only —
 // the campaign form of the ATPG per-word fault-dropping loop.
-func (c *Campaign) RunWords(faults []netlist.Fault, wLo, wHi int) ([]Result, Stats) {
-	return c.run(faults, wLo, wHi)
+func (c *Campaign) RunWords(ctx context.Context, faults []netlist.Fault, wLo, wHi int) ([]Result, Stats, error) {
+	return c.run(ctx, nil, faults, wLo, wHi)
 }
 
-func (c *Campaign) run(faults []netlist.Fault, wLo, wHi int) ([]Result, Stats) {
+// RunCheckpoint is Run with a checkpoint journal: chunks already journaled
+// by a previous (interrupted) identical run are skipped and their results
+// rehydrated; newly completed chunks are appended to the journal and
+// flushed crash-safely. A nil checkpoint degrades to plain Run.
+func (c *Campaign) RunCheckpoint(ctx context.Context, ck *Checkpoint, faults []netlist.Fault) ([]Result, Stats, error) {
+	return c.run(ctx, ck, faults, 0, len(c.core.Patterns))
+}
+
+// RunWordsCheckpoint is RunWords with a checkpoint journal.
+func (c *Campaign) RunWordsCheckpoint(ctx context.Context, ck *Checkpoint, faults []netlist.Fault, wLo, wHi int) ([]Result, Stats, error) {
+	return c.run(ctx, ck, faults, wLo, wHi)
+}
+
+func (c *Campaign) run(ctx context.Context, ck *Checkpoint, faults []netlist.Fault, wLo, wHi int) ([]Result, Stats, error) {
+	if !c.inUse.CompareAndSwap(false, true) {
+		return nil, Stats{}, ErrCampaignBusy
+	}
+	defer c.inUse.Store(false)
+
 	start := time.Now()
 	out := make([]Result, len(faults))
 	workers := c.cfg.Workers
@@ -100,6 +192,31 @@ func (c *Campaign) run(faults []netlist.Fault, wLo, wHi int) ([]Result, Stats) {
 	if workers < 1 {
 		workers = 1
 	}
+
+	var st Stats
+	st.Workers = workers
+
+	// Bind the next journal section and rehydrate completed chunks.
+	var sec *ckSection
+	var done []bool
+	if ck != nil {
+		var err error
+		sec, err = ck.section(campaignIdentity(c.core, faults, wLo, wHi, c.cfg))
+		if err != nil {
+			return nil, st, err
+		}
+		done, st.Rehydrated = sec.restore(out)
+		if st.Rehydrated == int64(len(faults)) {
+			// Everything was journaled; nothing to simulate.
+			st.Wall = time.Since(start)
+			return out, st, ck.Flush()
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return out, st, context.Cause(ctx)
+	}
+
 	for len(c.scr) < workers {
 		scr := &simScratch{}
 		scr.init(c.core)
@@ -109,38 +226,90 @@ func (c *Campaign) run(faults []netlist.Fault, wLo, wHi int) ([]Result, Stats) {
 	nWords := int64(wHi - wLo)
 	perWorker := make([]Stats, workers)
 
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	// Periodic crash-safety flush while the run is in flight: a hard kill
+	// loses at most the last flush interval of completed chunks.
+	var flusherDone chan struct{}
+	if ck != nil {
+		flusherDone = make(chan struct{})
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-flusherDone:
+					return
+				case <-t.C:
+					_ = ck.Flush()
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			cur := -1
+			defer func() {
+				if r := recover(); r != nil {
+					cancel(&PanicError{FaultIndex: cur, Value: r, Stack: debug.Stack()})
+				}
+			}()
 			scr := c.scr[w]
-			st := &perWorker[w]
+			wst := &perWorker[w]
 			words0, events0 := scr.words, scr.events
 			for {
+				// Cooperative cancellation at chunk granularity: a cancelled
+				// (or chaos-tripped) worker stops claiming new chunks but the
+				// chunk in flight always completes and gets journaled.
+				if runCtx.Err() != nil {
+					break
+				}
+				if chaosTripped() {
+					cancel(ErrChaosCancel)
+					break
+				}
 				lo, hi, ok := q.next(w)
 				if !ok {
 					break
 				}
 				for i := lo; i < hi; i++ {
+					if done != nil && done[i] {
+						continue
+					}
+					cur = i
+					if campaignSimHook != nil {
+						campaignSimHook(i)
+					}
+					chaosSims.Add(1)
 					before := scr.words
 					out[i] = c.core.run(scr, faults[i], c.cfg.MaxFail, wLo, wHi)
-					st.Faults++
+					wst.Faults++
 					if out[i].Detected {
-						st.Detected++
+						wst.Detected++
 					}
 					if c.cfg.MaxFail > 0 {
-						st.Dropped += nWords - (scr.words - before)
+						wst.Dropped += nWords - (scr.words - before)
 					}
 				}
+				cur = -1
+				if sec != nil {
+					sec.record(lo, hi, out, done)
+				}
 			}
-			st.Words = scr.words - words0
-			st.Events = scr.events - events0
+			wst.Words = scr.words - words0
+			wst.Events = scr.events - events0
 		}(w)
 	}
 	wg.Wait()
+	if flusherDone != nil {
+		close(flusherDone)
+	}
 
-	var st Stats
 	for i := range perWorker {
 		st.Faults += perWorker[i].Faults
 		st.Detected += perWorker[i].Detected
@@ -149,8 +318,16 @@ func (c *Campaign) run(faults []netlist.Fault, wLo, wHi int) ([]Result, Stats) {
 		st.Events += perWorker[i].Events
 	}
 	st.Wall = time.Since(start)
-	st.Workers = workers
-	return out, st
+
+	err := context.Cause(runCtx)
+	if ck != nil {
+		// Flush even on error: an interrupted run's completed chunks are
+		// exactly what the resume rehydrates.
+		if ferr := ck.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return out, st, err
 }
 
 // chunkQueue is a work-stealing dispatch queue over fault indices [0, n):

@@ -1,12 +1,28 @@
 package fault
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"rescue/internal/netlist"
 	"rescue/internal/rtl"
 	"rescue/internal/scan"
 )
+
+// mustRun is the test shorthand for an uninterrupted campaign run.
+func mustRun(t *testing.T, c *Campaign, faults []netlist.Fault) ([]Result, Stats) {
+	t.Helper()
+	res, st, err := c.Run(context.Background(), faults)
+	if err != nil {
+		t.Fatalf("campaign run failed: %v", err)
+	}
+	return res, st
+}
 
 // rescueSim builds the RescueDesign small config with a seeded random
 // pattern set — a real netlist with skewed propagation regions.
@@ -52,7 +68,7 @@ func TestCampaignDeterminism(t *testing.T) {
 				cfg := mode.cfg
 				cfg.Workers = workers
 				camp := NewCampaign(sim, cfg)
-				got, st := camp.Run(faults)
+				got, st := mustRun(t, camp, faults)
 				if len(got) != len(ref) {
 					t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(ref))
 				}
@@ -66,6 +82,52 @@ func TestCampaignDeterminism(t *testing.T) {
 					t.Fatalf("workers=%d: stats.Faults=%d, want %d", workers, st.Faults, len(faults))
 				}
 			}
+
+			// Resume equivalence: a run interrupted mid-flight and resumed
+			// from its checkpoint journal must be bit-identical to the
+			// uninterrupted reference at any worker count, including across
+			// a worker-count change at the kill point.
+			for _, workers := range []int{1, 4} {
+				path := filepath.Join(t.TempDir(), "resume.ckpt")
+				cancelAt := int64(len(faults) / 2)
+				var seen atomic.Int64
+				ctx, cancel := context.WithCancel(context.Background())
+				campaignSimHook = func(int) {
+					if seen.Add(1) == cancelAt {
+						cancel()
+					}
+				}
+				cfg := mode.cfg
+				cfg.Workers = workers
+				camp := NewCampaign(sim, cfg)
+				_, _, err := camp.RunCheckpoint(ctx, NewCheckpoint(path), faults)
+				campaignSimHook = nil
+				cancel()
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("workers=%d: interrupted run returned %v, want context.Canceled", workers, err)
+				}
+				ck, lerr := LoadCheckpoint(path)
+				if lerr != nil {
+					t.Fatalf("workers=%d: reload checkpoint: %v", workers, lerr)
+				}
+				resumeWorkers := 5 - workers // resume at a different count
+				cfg.Workers = resumeWorkers
+				camp2 := NewCampaign(sim, cfg)
+				got, st, err := camp2.RunCheckpoint(context.Background(), ck, faults)
+				if err != nil {
+					t.Fatalf("workers=%d: resume failed: %v", workers, err)
+				}
+				if st.Rehydrated == 0 {
+					t.Fatalf("workers=%d: resume rehydrated nothing", workers)
+				}
+				if st.Rehydrated+st.Faults != int64(len(faults)) {
+					t.Fatalf("workers=%d: rehydrated %d + simulated %d != %d faults",
+						workers, st.Rehydrated, st.Faults, len(faults))
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("workers=%d: resumed results differ from uninterrupted reference", workers)
+				}
+			}
 		})
 	}
 }
@@ -76,7 +138,7 @@ func TestCampaignDeterminism(t *testing.T) {
 func TestCampaignDropSkipsWords(t *testing.T) {
 	sim, u := rescueSim(t, 6, 7)
 	camp := NewCampaign(sim, CampaignConfig{Workers: 2, Drop: true})
-	results, st := camp.Run(u.Collapsed)
+	results, st := mustRun(t, camp, u.Collapsed)
 	nWords := int64(len(sim.Patterns))
 	if st.Words+st.Dropped != int64(len(u.Collapsed))*nWords {
 		t.Fatalf("words(%d) + dropped(%d) != faults(%d) × words(%d)",
@@ -105,7 +167,10 @@ func TestCampaignRunWords(t *testing.T) {
 	sim, u := rescueSim(t, 5, 99)
 	camp := NewCampaign(sim, CampaignConfig{Workers: 4, MaxFail: 1})
 	for w := 0; w < len(sim.Patterns); w++ {
-		got, _ := camp.RunWords(u.Collapsed, w, w+1)
+		got, _, err := camp.RunWords(context.Background(), u.Collapsed, w, w+1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, f := range u.Collapsed {
 			want := sim.RunWord(f, w, 1)
 			if !reflect.DeepEqual(got[i], want) {
@@ -120,8 +185,8 @@ func TestCampaignRunWords(t *testing.T) {
 func TestCampaignReuse(t *testing.T) {
 	sim, u := rescueSim(t, 3, 5)
 	camp := NewCampaign(sim, CampaignConfig{Workers: 3})
-	first, _ := camp.Run(u.Collapsed)
-	second, _ := camp.Run(u.Collapsed)
+	first, _ := mustRun(t, camp, u.Collapsed)
+	second, _ := mustRun(t, camp, u.Collapsed)
 	if !reflect.DeepEqual(first, second) {
 		t.Fatal("campaign results changed across reuse of the same campaign")
 	}
@@ -132,15 +197,57 @@ func TestCampaignReuse(t *testing.T) {
 func TestCampaignEmptyAndTiny(t *testing.T) {
 	sim, u := rescueSim(t, 2, 3)
 	camp := NewCampaign(sim, CampaignConfig{Workers: 8})
-	res, st := camp.Run(nil)
+	res, st := mustRun(t, camp, nil)
 	if len(res) != 0 || st.Faults != 0 {
 		t.Fatalf("empty run: %d results, %d faults", len(res), st.Faults)
 	}
-	res, _ = camp.Run(u.Collapsed[:3])
+	res, _ = mustRun(t, camp, u.Collapsed[:3])
 	for i, f := range u.Collapsed[:3] {
 		want := sim.Run(f, 0)
 		if !reflect.DeepEqual(res[i], want) {
 			t.Fatalf("tiny run fault %d: %+v != %+v", i, res[i], want)
+		}
+	}
+}
+
+// TestCampaignOverlapGuard provokes the overlap hazard the in-use guard
+// exists for: a second Run while the first is mid-flight must be rejected
+// with ErrCampaignBusy (overlapping runs would share per-worker scratch
+// state and corrupt both silently), and the guard must release once the
+// first run drains.
+func TestCampaignOverlapGuard(t *testing.T) {
+	sim, u := rescueSim(t, 2, 17)
+	faults := u.Collapsed[:64]
+	camp := NewCampaign(sim, CampaignConfig{Workers: 2})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	campaignSimHook = func(int) {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	defer func() { campaignSimHook = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := camp.Run(context.Background(), faults)
+		done <- err
+	}()
+	<-entered // first run is simulating
+	if _, _, err := camp.Run(context.Background(), faults); !errors.Is(err, ErrCampaignBusy) {
+		t.Fatalf("overlapping Run returned %v, want ErrCampaignBusy", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("first run failed: %v", err)
+	}
+	res, _, err := camp.Run(context.Background(), faults)
+	if err != nil {
+		t.Fatalf("run after guard release failed: %v", err)
+	}
+	for i, f := range faults {
+		if want := sim.Run(f, 0); !reflect.DeepEqual(res[i], want) {
+			t.Fatalf("post-overlap run fault %d differs from serial", i)
 		}
 	}
 }

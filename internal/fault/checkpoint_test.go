@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// journalFor runs a small checkpointed campaign to completion and returns
+// the journal path plus the inputs that produced it.
+func journalFor(t *testing.T) (string, *Sim, *Universe) {
+	t.Helper()
+	sim, u := rescueSim(t, 2, 61)
+	path := filepath.Join(t.TempDir(), "ck.journal")
+	camp := NewCampaign(sim, CampaignConfig{Workers: 2})
+	if _, _, err := camp.RunCheckpoint(context.Background(), NewCheckpoint(path), u.Collapsed[:200]); err != nil {
+		t.Fatal(err)
+	}
+	return path, sim, u
+}
+
+// TestOpenCheckpointRefusesExisting pins the no-clobber contract: without
+// -resume an existing journal must be refused with guidance, and with
+// -resume it must load.
+func TestOpenCheckpointRefusesExisting(t *testing.T) {
+	path, _, _ := journalFor(t)
+	if _, err := OpenCheckpoint(path, false); err == nil {
+		t.Fatal("OpenCheckpoint clobbered an existing journal without -resume")
+	} else if !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("refusal does not mention -resume: %v", err)
+	}
+	ck, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint with resume failed: %v", err)
+	}
+	if len(ck.sections) == 0 {
+		t.Fatal("resumed journal loaded no sections")
+	}
+	// A fresh path works without resume and writes nothing until Flush.
+	fresh := filepath.Join(t.TempDir(), "fresh.journal")
+	if _, err := OpenCheckpoint(fresh, false); err != nil {
+		t.Fatalf("fresh OpenCheckpoint failed: %v", err)
+	}
+	if _, err := os.Stat(fresh); !os.IsNotExist(err) {
+		t.Fatal("fresh checkpoint touched the filesystem before any Flush")
+	}
+}
+
+// TestCheckpointIdentityMismatch: resuming a journal against a run with
+// different inputs (fault list, word range, or config) must be refused,
+// not silently rehydrated into wrong results.
+func TestCheckpointIdentityMismatch(t *testing.T) {
+	path, sim, u := journalFor(t)
+	cases := []struct {
+		name string
+		run  func(ck *Checkpoint) error
+	}{
+		{"different-faults", func(ck *Checkpoint) error {
+			camp := NewCampaign(sim, CampaignConfig{Workers: 2})
+			_, _, err := camp.RunCheckpoint(context.Background(), ck, u.Collapsed[:199])
+			return err
+		}},
+		{"different-config", func(ck *Checkpoint) error {
+			camp := NewCampaign(sim, CampaignConfig{Workers: 2, Drop: true})
+			_, _, err := camp.RunCheckpoint(context.Background(), ck, u.Collapsed[:200])
+			return err
+		}},
+		{"different-words", func(ck *Checkpoint) error {
+			camp := NewCampaign(sim, CampaignConfig{Workers: 2})
+			_, _, err := camp.RunWordsCheckpoint(context.Background(), ck, u.Collapsed[:200], 0, 1)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ck, err := LoadCheckpoint(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = tc.run(ck)
+			if err == nil || !strings.Contains(err.Error(), "different run") {
+				t.Fatalf("mismatched resume returned %v, want identity-mismatch error", err)
+			}
+		})
+	}
+	// The identical run still rehydrates.
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := NewCampaign(sim, CampaignConfig{Workers: 4})
+	_, st, err := camp.RunCheckpoint(context.Background(), ck, u.Collapsed[:200])
+	if err != nil {
+		t.Fatalf("identical resume failed: %v", err)
+	}
+	if st.Rehydrated != 200 {
+		t.Fatalf("identical resume rehydrated %d of 200", st.Rehydrated)
+	}
+}
+
+// TestCheckpointCorruption: tampered journals must be rejected on load —
+// a flipped results digest, a truncated body, and an empty file.
+func TestCheckpointCorruption(t *testing.T) {
+	path, _, _ := journalFor(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("digest-mismatch", func(t *testing.T) {
+		re := regexp.MustCompile(`"digest":"([0-9a-f])`)
+		m := re.FindSubmatchIndex(raw)
+		if m == nil {
+			t.Fatal("journal has no digest line to corrupt")
+		}
+		bad := append([]byte(nil), raw...)
+		if bad[m[2]] == 'f' {
+			bad[m[2]] = '0'
+		} else {
+			bad[m[2]] = 'f'
+		}
+		p := filepath.Join(t.TempDir(), "bad.journal")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(p); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+			t.Fatalf("corrupted journal loaded: %v", err)
+		}
+	})
+
+	t.Run("headerless", func(t *testing.T) {
+		lines := strings.SplitN(string(raw), "\n", 2)
+		if len(lines) != 2 {
+			t.Fatal("journal too short")
+		}
+		p := filepath.Join(t.TempDir(), "headless.journal")
+		if err := os.WriteFile(p, []byte(lines[1]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(p); err == nil {
+			t.Fatal("journal without header loaded")
+		}
+	})
+
+	t.Run("empty-file", func(t *testing.T) {
+		p := filepath.Join(t.TempDir(), "empty.journal")
+		if err := os.WriteFile(p, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(p); err == nil {
+			t.Fatal("empty journal loaded")
+		}
+	})
+
+	t.Run("missing-file", func(t *testing.T) {
+		ck, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.journal"))
+		if err != nil {
+			t.Fatalf("missing journal must start fresh, got %v", err)
+		}
+		if len(ck.sections) != 0 {
+			t.Fatal("missing journal produced sections")
+		}
+	})
+}

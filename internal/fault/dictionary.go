@@ -2,6 +2,7 @@ package fault
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -29,17 +30,35 @@ func BuildDictionary(sim *Sim, u *Universe) *Dictionary {
 
 // BuildDictionaryWorkers is BuildDictionary with an explicit worker count
 // (<= 0 = all cores) and campaign stats. Fault dropping stays off: a
-// dictionary needs every fault's complete syndrome.
+// dictionary needs every fault's complete syndrome. It panics if the
+// underlying flow errors, which cannot happen without a cancellable
+// context, a checkpoint, or an armed chaos budget.
 func BuildDictionaryWorkers(sim *Sim, u *Universe, workers int) (*Dictionary, Stats) {
+	d, st, err := BuildDictionaryFlow(context.Background(), sim, u, workers, nil)
+	if err != nil {
+		panic(fmt.Sprintf("fault: BuildDictionaryWorkers failed: %v", err))
+	}
+	return d, st
+}
+
+// BuildDictionaryFlow is BuildDictionaryWorkers with cooperative
+// cancellation and an optional checkpoint journal: the single big campaign
+// behind the dictionary resumes at chunk granularity after a kill, and the
+// rebuilt dictionary is bit-identical to an uninterrupted build at any
+// worker count. On error the partial campaign Stats are still returned.
+func BuildDictionaryFlow(ctx context.Context, sim *Sim, u *Universe, workers int, ck *Checkpoint) (*Dictionary, Stats, error) {
 	camp := NewCampaign(sim, CampaignConfig{Workers: workers})
-	results, st := camp.Run(u.Collapsed)
+	results, st, err := camp.RunCheckpoint(ctx, ck, u.Collapsed)
+	if err != nil {
+		return nil, st, err
+	}
 	d := &Dictionary{Syndromes: make([][]int, len(u.Collapsed))}
 	for i, res := range results {
 		obs := append([]int(nil), res.FailObs...)
 		sort.Ints(obs)
 		d.Syndromes[i] = obs
 	}
-	return d, st
+	return d, st, nil
 }
 
 // Detected reports how many faults the dictionary's program detects.

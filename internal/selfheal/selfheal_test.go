@@ -1,6 +1,7 @@
 package selfheal
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -82,6 +83,99 @@ func TestInjectRandomDeterministic(t *testing.T) {
 	}
 	if a.Alive() != true {
 		t.Fatal("array should still be alive")
+	}
+}
+
+// TestSpareExhaustionBoundary walks the exact boundary: with k spares the
+// first k faults remap (in mark order, to spares 0..k-1), the k+1-th is
+// avoided, and an array with as many spares as entries survives every
+// entry failing.
+func TestSpareExhaustionBoundary(t *testing.T) {
+	const k = 3
+	a, _ := New(8, k)
+	order := []int{6, 0, 4, 2}
+	for _, i := range order {
+		if err := a.MarkFaulty(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantRemap := map[int]int{6: 0, 0: 1, 4: 2}
+	if !reflect.DeepEqual(a.remap, wantRemap) {
+		t.Fatalf("remap = %v, want %v (spares assigned in mark order)", a.remap, wantRemap)
+	}
+	if a.Usable(2) {
+		t.Fatal("fault past spare exhaustion must be avoided")
+	}
+	if a.EffectiveCapacity() != 7 {
+		t.Fatalf("capacity = %d, want 7", a.EffectiveCapacity())
+	}
+
+	full, _ := New(4, 4)
+	for i := 0; i < 4; i++ {
+		_ = full.MarkFaulty(i)
+	}
+	if full.EffectiveCapacity() != 4 || !full.Alive() {
+		t.Fatalf("fully-spared array lost capacity: %d", full.EffectiveCapacity())
+	}
+	if full.FaultyCount() != 4 {
+		t.Fatalf("faulty = %d", full.FaultyCount())
+	}
+}
+
+// TestDoubleMarkDoesNotConsumeSpare: re-marking an already-faulty entry is
+// idempotent all the way down — it must not burn a second spare or disturb
+// the existing remapping.
+func TestDoubleMarkDoesNotConsumeSpare(t *testing.T) {
+	a, _ := New(8, 2)
+	if err := a.MarkFaulty(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.MarkFaulty(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.nextSp != 1 {
+		t.Fatalf("double mark consumed spares: nextSp = %d, want 1", a.nextSp)
+	}
+	if err := a.MarkFaulty(5); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.remap, map[int]int{2: 0, 5: 1}) {
+		t.Fatalf("remap = %v, want {2:0 5:1}", a.remap)
+	}
+	if !a.Usable(2) || !a.Usable(5) {
+		t.Fatal("both faults have spares and must stay usable")
+	}
+	if a.EffectiveCapacity() != 8 {
+		t.Fatalf("capacity = %d, want 8", a.EffectiveCapacity())
+	}
+}
+
+// TestRemapDeterminism: the same fault sequence — explicit or via
+// seeded injection — must produce identical fault maps and spare
+// assignments on independent arrays.
+func TestRemapDeterminism(t *testing.T) {
+	seq := []int{5, 1, 7, 3, 1, 5, 0}
+	a, _ := New(8, 4)
+	b, _ := New(8, 4)
+	for _, i := range seq {
+		_ = a.MarkFaulty(i)
+		_ = b.MarkFaulty(i)
+	}
+	if !reflect.DeepEqual(a.remap, b.remap) || !reflect.DeepEqual(a.faulty, b.faulty) {
+		t.Fatalf("same sequence diverged: %v vs %v", a.remap, b.remap)
+	}
+
+	x, _ := New(256, 16)
+	y, _ := New(256, 16)
+	x.InjectRandom(0.1, 2026)
+	y.InjectRandom(0.1, 2026)
+	if !reflect.DeepEqual(x.remap, y.remap) || !reflect.DeepEqual(x.faulty, y.faulty) {
+		t.Fatal("seeded injection produced diverging remaps")
+	}
+	if x.nextSp != 16 {
+		t.Fatalf("10%% of 256 must exhaust 16 spares, nextSp = %d", x.nextSp)
 	}
 }
 

@@ -26,6 +26,11 @@
 //	rep := sys.IsolateCampaign(tp, 1000, rescue.Stages(), 1, 0)
 //	degr, _ := rescue.MapOut([]string{"IQ0"})
 //	rows, _ := rescue.IPCStudy(nil, 100_000, 1_000_000)
+//
+// Campaign-shaped workloads (ATPG, isolation, dictionaries) additionally
+// offer *Flow variants threading a context.Context and an optional
+// crash-safe checkpoint journal: a killed run resumes at chunk granularity
+// and converges bit-identically to an uninterrupted one.
 package rescue
 
 import (
@@ -59,14 +64,35 @@ type (
 	// Grouping assigns components to super-components.
 	Grouping = ici.Grouping
 	// FaultCampaign shards fault simulation across workers with results
-	// bit-identical to the serial path at any worker count.
+	// bit-identical to the serial path at any worker count. Runs take a
+	// context for cooperative cancellation (chunk granularity), isolate
+	// worker panics into a fault.PanicError, and reject overlapping calls
+	// with fault.ErrCampaignBusy.
 	FaultCampaign = fault.Campaign
 	// FaultCampaignConfig tunes workers, failing-bit caps, and dropping.
 	FaultCampaignConfig = fault.CampaignConfig
 	// FaultStats records campaign work (faults simulated, words dropped,
-	// gate events, wall time).
+	// gate events, checkpoint rehydrations, wall time).
 	FaultStats = fault.Stats
+	// FaultCheckpoint is a crash-safe journal of completed campaign work:
+	// an interrupted flow resumed against the same journal rehydrates the
+	// journaled chunks and converges bit-identically to an uninterrupted
+	// run. The *Flow methods (GenerateTestsFlow, IsolateCampaignFlow,
+	// MultiFaultIsolationFlow, fault.BuildDictionaryFlow) accept one.
+	FaultCheckpoint = fault.Checkpoint
 )
+
+// OpenFaultCheckpoint opens a campaign checkpoint journal for a run: with
+// resume an existing journal is loaded, otherwise a fresh one is started
+// (refusing to clobber an existing file).
+func OpenFaultCheckpoint(path string, resume bool) (*FaultCheckpoint, error) {
+	return fault.OpenCheckpoint(path, resume)
+}
+
+// Interrupted reports whether a flow error is a cooperative cancellation
+// (Ctrl-C, deadline, chaos harness) rather than a hard failure — the
+// outcomes worth resuming from a checkpoint.
+func Interrupted(err error) bool { return fault.Interrupted(err) }
 
 // NewFaultCampaign prepares a parallel fault-simulation campaign over a
 // generated test program's simulator.

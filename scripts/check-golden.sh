@@ -5,6 +5,12 @@
 # Any drift — numeric or ordering — fails the build. Timings are suppressed
 # (-timing=false) so the outputs are byte-stable.
 #
+# A second pass checks interrupt-resume equivalence: each run is "killed"
+# at roughly 50% of its campaign work by the deterministic chaos budget
+# (-chaos-cancel-after, a stand-in for Ctrl-C that CI can time exactly),
+# must exit 130 with a flushed checkpoint journal, and the -resume rerun —
+# at a *different* worker count — must reproduce the goldens byte for byte.
+#
 # Usage: scripts/check-golden.sh [worker counts...]   (default: 1 4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,8 +43,61 @@ for w in "${workers[@]}"; do
     fi
 done
 
+# ~50% of each command's total campaign fault-sims on the small config
+# (rescue-atpg ≈ 134k across both variants; rescue-isolate ≈ 89k).
+atpg_kill=67000
+iso_kill=45000
+
+for pair in "1 4" "4 1"; do
+    read -r kw rw <<< "$pair"
+
+    echo "== table3 interrupt-resume: kill at workers=$kw, resume at workers=$rw"
+    rm -f "$tmp/ck.atpg"
+    rc=0
+    "$tmp/rescue-atpg" -small -timing=false -workers "$kw" \
+        -checkpoint "$tmp/ck.atpg" -chaos-cancel-after "$atpg_kill" \
+        > /dev/null 2> "$tmp/atpg.err" || rc=$?
+    if [ "$rc" -ne 130 ]; then
+        echo "FAIL: chaos-interrupted rescue-atpg exited $rc, want 130" >&2
+        cat "$tmp/atpg.err" >&2
+        fail=1
+    elif [ ! -s "$tmp/ck.atpg" ]; then
+        echo "FAIL: interrupted rescue-atpg left no checkpoint journal" >&2
+        fail=1
+    else
+        "$tmp/rescue-atpg" -small -timing=false -workers "$rw" \
+            -checkpoint "$tmp/ck.atpg" -resume > "$tmp/table3_resumed.txt"
+        if ! diff -u results/table3_small.txt "$tmp/table3_resumed.txt"; then
+            echo "FAIL: resumed table3_small.txt drifted (kill=$kw resume=$rw)" >&2
+            fail=1
+        fi
+    fi
+
+    echo "== isolation interrupt-resume: kill at workers=$kw, resume at workers=$rw"
+    rm -f "$tmp/ck.iso"
+    rc=0
+    "$tmp/rescue-isolate" -small -per-stage 200 -multi -timing=false -workers "$kw" \
+        -checkpoint "$tmp/ck.iso" -chaos-cancel-after "$iso_kill" \
+        > /dev/null 2> "$tmp/iso.err" || rc=$?
+    if [ "$rc" -ne 130 ]; then
+        echo "FAIL: chaos-interrupted rescue-isolate exited $rc, want 130" >&2
+        cat "$tmp/iso.err" >&2
+        fail=1
+    elif [ ! -s "$tmp/ck.iso" ]; then
+        echo "FAIL: interrupted rescue-isolate left no checkpoint journal" >&2
+        fail=1
+    else
+        "$tmp/rescue-isolate" -small -per-stage 200 -multi -timing=false -workers "$rw" \
+            -checkpoint "$tmp/ck.iso" -resume > "$tmp/isolation_resumed.txt"
+        if ! diff -u results/isolation_small.txt "$tmp/isolation_resumed.txt"; then
+            echo "FAIL: resumed isolation_small.txt drifted (kill=$kw resume=$rw)" >&2
+            fail=1
+        fi
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     echo "golden check FAILED" >&2
     exit 1
 fi
-echo "golden check OK: outputs identical to committed results at workers: ${workers[*]}"
+echo "golden check OK: outputs identical to committed results at workers: ${workers[*]}, interrupt-resume included"
