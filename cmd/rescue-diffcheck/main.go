@@ -1,0 +1,139 @@
+// Command rescue-diffcheck runs the differential verification harness:
+// seeded random scan circuits are generated and every layer of the fault
+// flow is cross-checked against independent implementations — the
+// event-driven simulator against a brute-force oracle, the parallel
+// campaign against the serial path at several worker counts, checkpoint
+// kill/resume against uninterrupted runs, ICI-style equivalence transforms
+// against functional simulation, and PODEM cubes against the oracle.
+//
+// Usage:
+//
+//	rescue-diffcheck [-seeds lo:hi | -seed N] [-budget dur]
+//	                 [-workers n,n,...] [-dump dir] [-v]
+//
+// A failing seed is replayed with `rescue-diffcheck -seed N`; with -dump
+// the failing circuit is shrunk to a minimal configuration and written out
+// as Verilog plus a replay note.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"rescue/internal/cli"
+	"rescue/internal/diffcheck"
+	"rescue/internal/fault"
+)
+
+func main() {
+	seed := flag.Int64("seed", -1, "check a single seed (replay mode); -1 = use -seeds")
+	seeds := flag.String("seeds", "0:1000", "seed range lo:hi (hi exclusive)")
+	budget := flag.Duration("budget", 0, "stop after this much wall time (0 = no limit)")
+	workersFlag := flag.String("workers", "1,2,8", "comma-separated campaign worker counts to cross-check")
+	dump := flag.String("dump", "", "directory for shrunken failing-circuit dumps (off when empty)")
+	verbose := flag.Bool("v", false, "print each seed as it is checked")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Usagef("unexpected arguments: %v", flag.Args())
+	}
+
+	opt := diffcheck.Options{Workers: parseWorkers(*workersFlag)}
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	if *seed >= 0 {
+		err := diffcheck.CheckSeed(ctx, uint64(*seed), opt)
+		if err == nil {
+			fmt.Printf("seed %d: all properties hold\n", *seed)
+			return
+		}
+		if fault.Interrupted(err) || ctx.Err() != nil {
+			cli.ExitFlow(err, fault.Stats{}, nil)
+		}
+		fmt.Printf("seed %d: FAIL\n%v\n", *seed, err)
+		dumpFailures(ctx, *dump, opt, []diffcheck.Failure{{
+			Seed: uint64(*seed), Cfg: diffcheck.ConfigForSeed(uint64(*seed)), Err: err,
+		}})
+		cli.Fatalf("1 failing seed")
+	}
+
+	lo, hi := parseSeedRange(*seeds)
+	start := time.Now()
+	progress := func(s uint64) {}
+	if *verbose {
+		progress = func(s uint64) { fmt.Printf("seed %d\n", s) }
+	}
+	rep, err := diffcheck.Run(ctx, lo, hi, *budget, opt, progress)
+	if err != nil {
+		fmt.Printf("checked %d seeds before interruption\n", rep.Checked)
+		cli.ExitFlow(err, fault.Stats{}, nil)
+	}
+	fmt.Printf("checked %d seeds of [%d, %d) in %s, workers %v: %d failing\n",
+		rep.Checked, lo, hi, time.Since(start).Round(time.Millisecond), opt.Workers, len(rep.Failures))
+	if len(rep.Failures) == 0 {
+		return
+	}
+	for _, f := range rep.Failures {
+		fmt.Printf("\nseed %d: %v\n  replay: rescue-diffcheck -seed %d\n", f.Seed, f.Err, f.Seed)
+	}
+	dumpFailures(ctx, *dump, opt, rep.Failures)
+	cli.Fatalf("%d failing seed(s)", len(rep.Failures))
+}
+
+// dumpFailures shrinks each failure to a minimal configuration and writes
+// the Verilog circuit plus a replay note into dir (no-op when dir is "").
+func dumpFailures(ctx context.Context, dir string, opt diffcheck.Options, failures []diffcheck.Failure) {
+	if dir == "" {
+		return
+	}
+	for _, f := range failures {
+		small := diffcheck.Shrink(ctx, f, opt)
+		paths, err := diffcheck.WriteRepro(dir, small)
+		if err != nil {
+			cli.Fatalf("writing repro for seed %d: %v", f.Seed, err)
+		}
+		fmt.Printf("seed %d: shrunk to %+v\n  repro: %s\n", f.Seed, small.Cfg, strings.Join(paths, ", "))
+	}
+}
+
+// parseWorkers validates the -workers list: comma-separated counts, each
+// >= 0 (0 = all cores).
+func parseWorkers(s string) []int {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			cli.Usagef("-workers: bad count %q: %v", p, err)
+		}
+		cli.CheckWorkers(n)
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		cli.Usagef("-workers needs at least one count")
+	}
+	return out
+}
+
+// parseSeedRange validates the -seeds flag: "lo:hi" with lo < hi.
+func parseSeedRange(s string) (lo, hi uint64) {
+	loS, hiS, ok := strings.Cut(s, ":")
+	if !ok {
+		cli.Usagef("-seeds must be lo:hi, got %q", s)
+	}
+	var err error
+	if lo, err = strconv.ParseUint(strings.TrimSpace(loS), 10, 64); err != nil {
+		cli.Usagef("-seeds: bad lo %q: %v", loS, err)
+	}
+	if hi, err = strconv.ParseUint(strings.TrimSpace(hiS), 10, 64); err != nil {
+		cli.Usagef("-seeds: bad hi %q: %v", hiS, err)
+	}
+	if lo >= hi {
+		cli.Usagef("-seeds: lo %d must be < hi %d", lo, hi)
+	}
+	return lo, hi
+}

@@ -1,0 +1,33 @@
+package atpg
+
+import "rescue/internal/scan"
+
+// Apply packs the cube into lane `lane` of pattern p, which must still be
+// zero in that lane (bits are ORed in, the way pattern words are built
+// up). FF assignments land in FFVals by flop index, PI assignments in
+// PIVals by input index — the same order the cube was derived in. X
+// positions take a bit from xfill, called once per don't-care in FF-then-
+// PI order so callers with a seeded RNG stay deterministic; a nil xfill
+// zero-fills, which is always safe: a true PODEM test detects its target
+// under any don't-care fill.
+func (cb Cube) Apply(p *scan.Pattern, lane uint, xfill func() uint64) {
+	bit := func(v V3) uint64 {
+		switch v {
+		case One:
+			return 1
+		case Zero:
+			return 0
+		default:
+			if xfill == nil {
+				return 0
+			}
+			return xfill() & 1
+		}
+	}
+	for fi, v := range cb.FF {
+		p.FFVals[fi] |= bit(v) << lane
+	}
+	for pi, v := range cb.PI {
+		p.PIVals[pi] |= bit(v) << lane
+	}
+}

@@ -184,16 +184,7 @@ func GenerateFlow(ctx context.Context, c *scan.Chain, u *fault.Universe, cfg Gen
 		cur, curLanes = nil, 0
 		return err
 	}
-	fillBit := func(v V3) uint64 {
-		switch v {
-		case One:
-			return 1
-		case Zero:
-			return 0
-		default:
-			return rng.Uint64() & 1
-		}
-	}
+	xfill := func() uint64 { return rng.Uint64() }
 	for i := range remaining {
 		if !remaining[i] {
 			continue
@@ -218,13 +209,7 @@ func GenerateFlow(ctx context.Context, c *scan.Chain, u *fault.Universe, cfg Gen
 		if cur == nil {
 			cur = c.NewPattern(0)
 		}
-		lane := uint(curLanes)
-		for fi, v := range cube.FF {
-			cur.FFVals[fi] |= fillBit(v) << lane
-		}
-		for pi, v := range cube.PI {
-			cur.PIVals[pi] |= fillBit(v) << lane
-		}
+		cube.Apply(cur, uint(curLanes), xfill)
 		curLanes++
 		if curLanes == 64 {
 			if err := flush(); err != nil {

@@ -1,0 +1,89 @@
+package cli_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the CLI binaries once into a shared temp dir. Flag
+// validation runs before any heavy work in every command, so the error
+// paths exercised here return in milliseconds.
+func buildCmds(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := make(map[string]string, len(names))
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Dir = "../.." // module root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins
+}
+
+// TestExitCodes pins the documented exit-code contract across every CLI:
+// 0 = success, 1 = runtime failure, 2 = usage error. Usage errors must
+// also say "usage error" on stderr so scripts can distinguish them.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t, "rescue-sim", "rescue-atpg", "rescue-dict", "rescue-isolate", "rescue-diffcheck")
+
+	staleCk := filepath.Join(t.TempDir(), "stale.ck")
+	if err := os.WriteFile(staleCk, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		bin      string
+		args     []string
+		wantExit int
+		wantErr  string // substring required on stderr ("" = don't care)
+	}{
+		{"sim negative workers", "rescue-sim", []string{"-workers=-1"}, 2, "usage error"},
+		{"atpg negative workers", "rescue-atpg", []string{"-workers=-1"}, 2, "usage error"},
+		{"dict negative workers", "rescue-dict", []string{"build", "-workers=-1", "-o", "x.csv"}, 2, "usage error"},
+		{"dict missing subcommand", "rescue-dict", []string{"-workers=-1"}, 2, "usage"},
+		{"isolate negative workers", "rescue-isolate", []string{"-workers=-1"}, 2, "usage error"},
+		{"diffcheck negative workers", "rescue-diffcheck", []string{"-workers=1,-1"}, 2, "usage error"},
+		{"atpg resume without checkpoint", "rescue-atpg", []string{"-resume"}, 2, "usage error"},
+		{"dict resume without checkpoint", "rescue-dict", []string{"build", "-resume", "-o", "x.csv"}, 2, "usage error"},
+		{"isolate resume without checkpoint", "rescue-isolate", []string{"-resume"}, 2, "usage error"},
+		{"atpg negative chaos budget", "rescue-atpg", []string{"-chaos-cancel-after=-5"}, 2, "usage error"},
+		{"atpg stale checkpoint without resume", "rescue-atpg", []string{"-checkpoint", staleCk}, 1, "already exists"},
+		{"diffcheck malformed seed range", "rescue-diffcheck", []string{"-seeds", "bad"}, 2, "usage error"},
+		{"diffcheck inverted seed range", "rescue-diffcheck", []string{"-seeds", "5:2"}, 2, "usage error"},
+		{"diffcheck non-numeric workers", "rescue-diffcheck", []string{"-workers", "x"}, 2, "usage error"},
+		{"diffcheck stray positional args", "rescue-diffcheck", []string{"-seeds", "0:2", "extra"}, 2, "usage error"},
+		{"diffcheck unknown flag", "rescue-diffcheck", []string{"-no-such-flag"}, 2, ""},
+		{"diffcheck small passing range", "rescue-diffcheck", []string{"-seeds", "0:2", "-workers", "1,2"}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bins[tc.bin], tc.args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			exit := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				exit = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("running %s: %v", tc.bin, err)
+			}
+			if exit != tc.wantExit {
+				t.Fatalf("%s %v: exit %d, want %d\nstderr: %s", tc.bin, tc.args, exit, tc.wantExit, stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("%s %v: stderr missing %q:\n%s", tc.bin, tc.args, tc.wantErr, stderr.String())
+			}
+		})
+	}
+}

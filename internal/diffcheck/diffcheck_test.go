@@ -1,0 +1,112 @@
+package diffcheck
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testOptions keeps per-seed work small so the unit tests stay fast; the
+// CLI and CI run the full default property set.
+func testOptions() Options {
+	return Options{Workers: []int{1, 3}, Transforms: 4, EquivCycles: 4, ATPGFaults: 4, MaxBacktracks: 30}
+}
+
+// TestCheckSeeds runs the whole property set over a block of seeds — the
+// in-tree slice of what CI's dedicated diffcheck job runs at scale.
+func TestCheckSeeds(t *testing.T) {
+	seeds := uint64(40)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := uint64(0); seed < seeds; seed++ {
+		if err := CheckSeed(context.Background(), seed, testOptions()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRunCollectsAndCounts(t *testing.T) {
+	rep, err := Run(context.Background(), 100, 105, 0, testOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked != 5 || len(rep.Failures) != 0 {
+		t.Fatalf("checked %d failures %d, want 5 and 0", rep.Checked, len(rep.Failures))
+	}
+}
+
+func TestRunHonorsBudget(t *testing.T) {
+	start := time.Now()
+	rep, err := Run(context.Background(), 0, 1<<40, 300*time.Millisecond, testOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("budget ignored: ran %v", elapsed)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("budget run checked nothing")
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, 0, 1000, 0, testOptions(), nil)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rep.Checked != 0 {
+		t.Fatalf("cancelled before start but checked %d seeds", rep.Checked)
+	}
+}
+
+// TestShrinkKeepsPassingConfigUntouched: shrinking only accepts reductions
+// that still fail, so shrinking a failure whose config actually passes
+// (synthetic here) must return the config unchanged.
+func TestShrinkKeepsPassingConfigUntouched(t *testing.T) {
+	f := Failure{Seed: 1, Cfg: ConfigForSeed(1), Err: errors.New("synthetic")}
+	got := Shrink(context.Background(), f, testOptions())
+	if got.Cfg != f.Cfg {
+		t.Fatalf("shrink modified a config that does not fail: %+v -> %+v", f.Cfg, got.Cfg)
+	}
+	if got.Err.Error() != "synthetic" {
+		t.Fatalf("shrink replaced the error: %v", got.Err)
+	}
+}
+
+func TestWriteRepro(t *testing.T) {
+	dir := t.TempDir()
+	f := Failure{Seed: 7, Cfg: ConfigForSeed(7), Err: errors.New("P1 oracle: synthetic divergence")}
+	paths, err := WriteRepro(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("want 2 repro files, got %v", paths)
+	}
+	v, err := os.ReadFile(filepath.Join(dir, "seed-7.v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) == 0 || string(v[:2]) != "//" {
+		t.Fatalf("verilog dump looks wrong: %.40s", v)
+	}
+	note, err := os.ReadFile(filepath.Join(dir, "seed-7.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"seed 7", "P1 oracle", "rescue-diffcheck -seed 7"} {
+		if !strings.Contains(string(note), want) {
+			t.Fatalf("repro note missing %q:\n%s", want, note)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package diffcheck
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rescue/internal/netlist"
+)
+
+// Failure records one seed whose property check failed, with the exact
+// generator config that reproduces it.
+type Failure struct {
+	Seed uint64
+	Cfg  netlist.RandomConfig
+	Err  error
+}
+
+// Report summarizes a seed-range campaign.
+type Report struct {
+	Checked  int
+	Failures []Failure
+}
+
+// MaxFailures caps how many failing seeds Run collects before stopping
+// early — after a handful, more repros add noise, not signal.
+const MaxFailures = 5
+
+// Run checks seeds [lo, hi) in order, stopping early when the time budget
+// (0 = unlimited) is exhausted, the context is cancelled, or MaxFailures
+// seeds have failed. progress, when non-nil, is called before each seed.
+// The returned error is non-nil only for interruption — property failures
+// are reported in the Report, not as an error.
+func Run(ctx context.Context, lo, hi uint64, budget time.Duration, opt Options, progress func(seed uint64)) (Report, error) {
+	var rep Report
+	start := time.Now()
+	for seed := lo; seed < hi; seed++ {
+		if err := ctx.Err(); err != nil {
+			return rep, context.Cause(ctx)
+		}
+		if budget > 0 && time.Since(start) >= budget {
+			break
+		}
+		if progress != nil {
+			progress(seed)
+		}
+		if err := CheckSeed(ctx, seed, opt); err != nil {
+			if ctx.Err() != nil {
+				// the property run died because we were cancelled, not
+				// because the property failed
+				return rep, context.Cause(ctx)
+			}
+			rep.Failures = append(rep.Failures, Failure{Seed: seed, Cfg: ConfigForSeed(seed), Err: err})
+			if len(rep.Failures) >= MaxFailures {
+				rep.Checked++
+				break
+			}
+		}
+		rep.Checked++
+	}
+	return rep, nil
+}
+
+// Shrink greedily minimizes a failing config: each knob is repeatedly
+// halved toward its floor as long as the shrunken circuit still fails
+// (any property — the minimal repro need not fail the original way).
+// Returns the smallest failing config found and its error.
+func Shrink(ctx context.Context, f Failure, opt Options) Failure {
+	cfg, lastErr := f.Cfg, f.Err
+	knobs := []struct {
+		get   func(*netlist.RandomConfig) *int
+		floor int
+	}{
+		{func(c *netlist.RandomConfig) *int { return &c.Gates }, 1},
+		{func(c *netlist.RandomConfig) *int { return &c.FFs }, 1},
+		{func(c *netlist.RandomConfig) *int { return &c.Inputs }, 1},
+		{func(c *netlist.RandomConfig) *int { return &c.Outputs }, 1},
+		{func(c *netlist.RandomConfig) *int { return &c.Comps }, 1},
+		{func(c *netlist.RandomConfig) *int { return &c.MaxFanIn }, 2},
+	}
+	for changed := true; changed && ctx.Err() == nil; {
+		changed = false
+		for _, k := range knobs {
+			for ctx.Err() == nil {
+				cur := *k.get(&cfg)
+				next := cur / 2
+				if next < k.floor {
+					next = k.floor
+				}
+				if next == cur {
+					break
+				}
+				try := cfg
+				*k.get(&try) = next
+				err := CheckConfig(ctx, try, opt)
+				if err == nil || ctx.Err() != nil {
+					break
+				}
+				cfg, lastErr, changed = try, err, true
+			}
+		}
+	}
+	return Failure{Seed: f.Seed, Cfg: cfg, Err: lastErr}
+}
+
+// WriteRepro dumps a failure into dir: the generated circuit as Verilog
+// (seed-N.v) and a replay note with the config and the violated property
+// (seed-N.txt). Returns the paths written.
+func WriteRepro(dir string, f Failure) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	vPath := filepath.Join(dir, fmt.Sprintf("seed-%d.v", f.Seed))
+	vf, err := os.Create(vPath)
+	if err != nil {
+		return nil, err
+	}
+	n := netlist.Random(f.Cfg)
+	if err := n.WriteVerilog(vf); err != nil {
+		vf.Close()
+		return nil, err
+	}
+	if err := vf.Close(); err != nil {
+		return nil, err
+	}
+
+	tPath := filepath.Join(dir, fmt.Sprintf("seed-%d.txt", f.Seed))
+	note := fmt.Sprintf(
+		"rescue-diffcheck failing seed %d\n\nconfig: %+v\n\nproperty violation:\n%v\n\nreplay:\n  rescue-diffcheck -seed %d\n",
+		f.Seed, f.Cfg, f.Err, f.Seed)
+	if err := os.WriteFile(tPath, []byte(note), 0o644); err != nil {
+		return nil, err
+	}
+	return []string{vPath, tPath}, nil
+}

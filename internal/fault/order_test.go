@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"rescue/internal/netlist"
+	"rescue/internal/scan"
+)
+
+// TestResultOrdering pins the documented Result ordering contract: Fails
+// is word-major, then (obs, lane) ascending within each word; FailObs is
+// ordered by word of first failure, then obs index. The circuit is built
+// so that event discovery order (level order) disagrees with obs order —
+// the low-numbered observation point sits behind the DEEP path — so an
+// implementation that skipped normalization would fail this test.
+func TestResultOrdering(t *testing.T) {
+	n := netlist.New("ordering")
+	a := n.Input("a")
+	src := n.Buf(a)
+	// deep path: four inverter pairs, captured by FF0 (obs 0)
+	deep := src
+	for i := 0; i < 4; i++ {
+		deep = n.Not(n.Not(deep))
+	}
+	n.AddFF(deep, "ff_deep")
+	// shallow path: one buffer, captured by FF1 (obs 1)
+	n.AddFF(n.Buf(src), "ff_shallow")
+	n.Output(src, "po") // obs 2, failing at level 0
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := scan.Insert(n, 1)
+	pats := []*scan.Pattern{c.NewPattern(64), c.NewPattern(64)}
+	pats[1].PIVals[0] = ^uint64(0)
+	sim := NewSim(c, pats)
+
+	// stuck-at-1 on the source buffer propagates everywhere in word 0
+	// (input all-zero) and nowhere in word 1 (input all-one).
+	res := sim.Run(netlist.Fault{Gate: 0, FF: -1, Pin: -1, StuckAt1: true}, 0)
+	if !res.Detected {
+		t.Fatal("fault undetected")
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(res.FailObs, want) {
+		t.Fatalf("FailObs = %v, want %v (obs-index order, not discovery order)", res.FailObs, want)
+	}
+	if len(res.Fails) != 3*64 {
+		t.Fatalf("len(Fails) = %d, want %d", len(res.Fails), 3*64)
+	}
+	if !sort.SliceIsSorted(res.Fails, func(i, j int) bool {
+		fi, fj := res.Fails[i], res.Fails[j]
+		if fi.Word != fj.Word {
+			return fi.Word < fj.Word
+		}
+		if fi.Obs != fj.Obs {
+			return fi.Obs < fj.Obs
+		}
+		return fi.Lane < fj.Lane
+	}) {
+		t.Fatalf("Fails not in canonical (word, obs, lane) order: %v", res.Fails[:8])
+	}
+	for i := 1; i < len(res.Fails); i++ {
+		if res.Fails[i] == res.Fails[i-1] {
+			t.Fatalf("duplicate FailBit %+v", res.Fails[i])
+		}
+	}
+}
+
+// TestResultOrderingMultiWord checks the FailObs "word of first failure"
+// rule: an obs point failing first in word 1 lists after the obs points
+// that already failed in word 0, regardless of index.
+func TestResultOrderingMultiWord(t *testing.T) {
+	n := netlist.New("multiword")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.AddFF(n.Buf(a), "fa") // obs 0, fails when a-path differs
+	n.AddFF(n.Buf(b), "fb") // obs 1
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := scan.Insert(n, 1)
+	// word 0 excites only the b path; word 1 excites only the a path
+	w0 := c.NewPattern(64)
+	w0.PIVals[1] = ^uint64(0)
+	w1 := c.NewPattern(64)
+	w1.PIVals[0] = ^uint64(0)
+	sim := NewSim(c, []*scan.Pattern{w0, w1})
+
+	// stuck-at-0 on gate 1 (buf of b) fails obs 1 in word 0 only;
+	// stuck-at-0 on gate 0 (buf of a) fails obs 0 in word 1 only.
+	// A fault affecting both: use input-pin faults on each buf.
+	resB := sim.Run(netlist.Fault{Gate: 1, FF: -1, Pin: -1, StuckAt1: false}, 0)
+	if want := []int{1}; !reflect.DeepEqual(resB.FailObs, want) {
+		t.Fatalf("b-path FailObs = %v, want %v", resB.FailObs, want)
+	}
+	if len(resB.Fails) == 0 || resB.Fails[0].Word != 0 {
+		t.Fatalf("b-path first fail %+v, want word 0", resB.Fails)
+	}
+	resA := sim.Run(netlist.Fault{Gate: 0, FF: -1, Pin: -1, StuckAt1: false}, 0)
+	if want := []int{0}; !reflect.DeepEqual(resA.FailObs, want) {
+		t.Fatalf("a-path FailObs = %v, want %v", resA.FailObs, want)
+	}
+	if len(resA.Fails) == 0 || resA.Fails[0].Word != 1 {
+		t.Fatalf("a-path first fail %+v, want word 1", resA.Fails)
+	}
+}

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"sort"
+
 	"rescue/internal/netlist"
 	"rescue/internal/scan"
 )
@@ -13,13 +15,25 @@ type FailBit struct {
 }
 
 // Result is the outcome of simulating one fault against a pattern set.
+//
+// Ordering contract (pinned by TestResultOrdering and relied on by the
+// differential harness for plain slice equality): Fails is word-major —
+// all bits of pattern word w precede those of word w+1 — and within a
+// word sorted by (Obs, Lane) ascending, with no duplicates. FailObs lists
+// each failing observation point once, ordered by the word of its first
+// failure, then by observation index within that word. Every independent
+// implementation of this contract (Sim, Campaign at any worker count,
+// Oracle) produces byte-identical Results for maxFail = 0.
 type Result struct {
 	Detected bool
 	// Fails lists failing bits, at most the maxFail cap passed to Run
 	// (0 = unlimited). Isolation needs every distinct failing obs point,
-	// detection needs only one.
+	// detection needs only one. When the cap truncates a word, the bits
+	// kept are a deterministic subset of that word's canonical order.
 	Fails []FailBit
 	// FailObs is the deduplicated set of failing observation points.
+	// When the cap truncated Fails, FailObs may still list points whose
+	// individual bits were dropped (capped callers only use Detected).
 	FailObs []int
 }
 
@@ -40,8 +54,14 @@ type simCore struct {
 	level      []int32 // per-gate combinational level
 	maxLevel   int32
 	netReaders [][]netlist.GateID // per-net reading gates
-	obsOfNet   []int32            // per-net observation index or -1
-	numObs     int
+	// Observation points per net, as intrusive chains: a net can be the D
+	// input of several FFs and a primary output at the same time, and every
+	// such point must report a failing bit. obsHead[net] is the first obs
+	// index reading the net (-1 = unobserved); obsNext[obs] links to the
+	// next obs index sharing the same net.
+	obsHead []int32
+	obsNext []int32
+	numObs  int
 }
 
 // simScratch is the mutable per-worker half: faulty-value overlays, event
@@ -103,18 +123,24 @@ func NewSim(c *scan.Chain, patterns []*scan.Pattern) *Sim {
 			s.netReaders[in] = append(s.netReaders[in], netlist.GateID(gi))
 		}
 	}
-	// observation index per net
-	s.obsOfNet = make([]int32, n.NumNets())
-	for i := range s.obsOfNet {
-		s.obsOfNet[i] = -1
-	}
-	for fi := range n.FFs {
-		s.obsOfNet[n.FFs[fi].D] = int32(fi)
-	}
-	for oi, out := range n.Outputs {
-		s.obsOfNet[out] = int32(n.NumFFs() + oi)
-	}
+	// observation chains per net
 	s.numObs = n.NumFFs() + len(n.Outputs)
+	s.obsHead = make([]int32, n.NumNets())
+	for i := range s.obsHead {
+		s.obsHead[i] = -1
+	}
+	s.obsNext = make([]int32, s.numObs)
+	addObs := func(net netlist.NetID, oi int32) {
+		s.obsNext[oi] = s.obsHead[net]
+		s.obsHead[net] = oi
+	}
+	// Insert in reverse so each chain reads out in ascending obs order.
+	for oi := len(n.Outputs) - 1; oi >= 0; oi-- {
+		addObs(n.Outputs[oi], int32(n.NumFFs()+oi))
+	}
+	for fi := n.NumFFs() - 1; fi >= 0; fi-- {
+		addObs(n.FFs[fi].D, int32(fi))
+	}
 	s.scr.init(&s.simCore)
 	for _, p := range patterns {
 		s.AddPattern(p)
@@ -207,16 +233,11 @@ func (c *simCore) run(scr *simScratch, f netlist.Fault, maxFail, wLo, wHi int) R
 			scr.buckets[i] = scr.buckets[i][:0]
 		}
 
-		// record a failing observation at net if it differs from good
-		observe := func(net netlist.NetID, faulty uint64) bool {
-			oi := c.obsOfNet[net]
-			if oi < 0 {
-				return false
-			}
-			diff := (faulty ^ c.goodResp[w][oi]) & mask
-			if diff == 0 {
-				return false
-			}
+		failsStart := len(res.Fails)
+		obsStart := len(res.FailObs)
+
+		// record appends the failing lanes of one observation point.
+		record := func(oi int32, diff uint64) {
 			res.Detected = true
 			if scr.obsEp[oi] != scr.runEp {
 				scr.obsEp[oi] = scr.runEp
@@ -226,50 +247,59 @@ func (c *simCore) run(scr *simScratch, f netlist.Fault, maxFail, wLo, wHi int) R
 				if diff&(1<<uint(lane)) != 0 {
 					res.Fails = append(res.Fails, FailBit{Word: w, Lane: lane, Obs: int(oi)})
 					diff &^= 1 << uint(lane)
-					if maxFail > 0 && len(res.Fails) >= maxFail {
-						return true
-					}
 				}
 			}
-			return false
+		}
+
+		// observe records failing bits at every observation point sampling
+		// net — a net can be the D input of several FFs and a primary
+		// output simultaneously. Reports whether the failing-bit cap has
+		// been reached (propagation may then stop early).
+		observe := func(net netlist.NetID, faulty uint64) bool {
+			for oi := c.obsHead[net]; oi >= 0; oi = c.obsNext[oi] {
+				if f.Gate < 0 && oi == int32(f.FF) {
+					// The faulty FF's own scan cell shifts out the stuck
+					// value no matter what its D net carries (the capture
+					// is overridden by the defect), so a fault effect
+					// looping back to its own D is not a discrepancy
+					// there. The own bit is recorded once at seeding.
+					continue
+				}
+				if diff := (faulty ^ c.goodResp[w][oi]) & mask; diff != 0 {
+					record(oi, diff)
+				}
+			}
+			return maxFail > 0 && len(res.Fails) >= maxFail
 		}
 
 		// seed events at the fault site
+		capped := false
 		switch {
 		case f.Gate >= 0:
 			c.schedule(scr, f.Gate)
 		case f.FF >= 0:
 			q := c.N.FFs[f.FF].Q
+			// the faulty FF's own scan cell captures the stuck value
+			if diff := (stuckWord ^ c.goodResp[w][f.FF]) & mask; diff != 0 {
+				record(int32(f.FF), diff)
+				capped = maxFail > 0 && len(res.Fails) >= maxFail
+			}
 			if (stuckWord^good[q])&mask != 0 {
 				scr.scratch[q] = stuckWord
 				scr.epoch[q] = scr.curEp
 				for _, r := range c.netReaders[q] {
 					c.schedule(scr, r)
 				}
-			}
-			// the faulty FF's own scan-out bit reads the stuck value
-			diff := (stuckWord ^ c.goodResp[w][f.FF]) & mask
-			if diff != 0 {
-				res.Detected = true
-				if scr.obsEp[f.FF] != scr.runEp {
-					scr.obsEp[f.FF] = scr.runEp
-					res.FailObs = append(res.FailObs, int(f.FF))
-				}
-				for lane := 0; lane < 64 && diff != 0; lane++ {
-					if diff&(1<<uint(lane)) != 0 {
-						res.Fails = append(res.Fails, FailBit{Word: w, Lane: lane, Obs: int(f.FF)})
-						diff &^= 1 << uint(lane)
-						if maxFail > 0 && len(res.Fails) >= maxFail {
-							return res
-						}
-					}
+				// q itself may be observed directly — as another FF's D
+				// net or as a primary output — with no gate in between.
+				if observe(q, stuckWord) {
+					capped = true
 				}
 			}
 		}
 
 		// event-driven propagation in level order
-		stop := false
-		for lv := int32(0); lv <= c.maxLevel && !stop; lv++ {
+		for lv := int32(0); lv <= c.maxLevel && !capped; lv++ {
 			for bi := 0; bi < len(scr.buckets[lv]); bi++ {
 				gi := scr.buckets[lv][bi]
 				g := &c.N.Gates[gi]
@@ -296,7 +326,7 @@ func (c *simCore) run(scr *simScratch, f netlist.Fault, maxFail, wLo, wHi int) R
 				scr.scratch[g.Out] = v
 				scr.epoch[g.Out] = scr.curEp
 				if observe(g.Out, v) {
-					stop = true
+					capped = true
 					break
 				}
 				for _, r := range c.netReaders[g.Out] {
@@ -304,11 +334,42 @@ func (c *simCore) run(scr *simScratch, f netlist.Fault, maxFail, wLo, wHi int) R
 				}
 			}
 		}
-		if stop {
+
+		finalizeWord(&res, failsStart, obsStart)
+		if maxFail > 0 && len(res.Fails) >= maxFail {
+			res.Fails = res.Fails[:maxFail]
 			return res
 		}
 	}
 	return res
+}
+
+// finalizeWord normalizes the bits one pattern word appended to res into
+// the documented canonical order: Fails sorted by (obs, lane) with
+// duplicates removed (a self-looped faulty FF can record its own scan bit
+// twice), FailObs sorted ascending. Event discovery order is level order,
+// which is deterministic but not the contract.
+func finalizeWord(res *Result, failsStart, obsStart int) {
+	seg := res.Fails[failsStart:]
+	if len(seg) > 1 {
+		sort.Slice(seg, func(i, j int) bool {
+			if seg[i].Obs != seg[j].Obs {
+				return seg[i].Obs < seg[j].Obs
+			}
+			return seg[i].Lane < seg[j].Lane
+		})
+		keep := 1
+		for i := 1; i < len(seg); i++ {
+			if seg[i] != seg[keep-1] {
+				seg[keep] = seg[i]
+				keep++
+			}
+		}
+		res.Fails = res.Fails[:failsStart+keep]
+	}
+	if obsSeg := res.FailObs[obsStart:]; len(obsSeg) > 1 {
+		sort.Ints(obsSeg)
+	}
 }
 
 // DetectAll runs detection-only simulation for a list of faults and

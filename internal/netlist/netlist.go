@@ -245,6 +245,25 @@ func (n *Netlist) AddFF(d NetID, name string) NetID {
 	return q
 }
 
+// DeclFF declares a flip-flop whose D input is not known yet — the idiom
+// for feedback loops, where the Q net must exist before the logic that
+// computes D can be built. The FF's D is InvalidNet until BindFFD is
+// called; Validate rejects unbound FFs. Returns the FF and its Q net.
+func (n *Netlist) DeclFF(name string) (FFID, NetID) {
+	q := n.newNet(name)
+	ff := FF{D: InvalidNet, Q: q, Comp: n.curComp, Name: name}
+	n.FFs = append(n.FFs, ff)
+	id := FFID(len(n.FFs) - 1)
+	n.nets[q].ff = id
+	return id, q
+}
+
+// BindFFD connects a declared flip-flop's D input to net d.
+func (n *Netlist) BindFFD(ff FFID, d NetID) {
+	n.FFs[ff].D = d
+	n.levelOK = false
+}
+
 // DriverGate returns the gate driving net id, or -1 if it is driven by a
 // flip-flop, a primary input, or nothing.
 func (n *Netlist) DriverGate(id NetID) GateID { return n.nets[id].gate }
@@ -271,6 +290,9 @@ func (n *Netlist) Validate() error {
 		}
 	}
 	for fi, ff := range n.FFs {
+		if ff.D < 0 || int(ff.D) >= len(n.nets) {
+			return fmt.Errorf("netlist %s: FF %d (%s) has unbound or invalid D net %d", n.Name, fi, ff.Name, ff.D)
+		}
 		ni := n.nets[ff.D]
 		if ni.gate < 0 && ni.ff < 0 && !ni.input {
 			return fmt.Errorf("netlist %s: FF %d (%s) has undriven D net %d", n.Name, fi, ff.Name, ff.D)

@@ -1,0 +1,438 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseVerilog reads the structural Verilog subset emitted by WriteVerilog
+// and reconstructs the netlist: module ports, wire/reg declarations, gate
+// primitive instances, mux/tie assigns, the flip-flop always block (with
+// component tags recovered from the emitted comments), and output port
+// assigns. Input port order, FF order, and output port order are preserved,
+// so scan chains and observation points of a reparsed netlist line up with
+// the original's — the round-trip fuzz target relies on that to check
+// functional equivalence index-by-index.
+//
+// The parser never panics on malformed input; every structural problem
+// (unknown identifier, duplicate driver, bad gate arity, combinational
+// cycle, unbound output port) is reported as an error. That makes it a
+// safe target for byte-level fuzzing.
+func ParseVerilog(r io.Reader) (*Netlist, error) {
+	p := &vparser{
+		wires:    map[string]bool{},
+		regs:     map[string]bool{},
+		gateOut:  map[string]bool{},
+		ffQ:      map[string]bool{},
+		outBinds: map[string]string{},
+		curComp:  "<anon>",
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if err := p.line(sc.Text()); err != nil {
+			return nil, fmt.Errorf("verilog line %d: %w", lineNo, err)
+		}
+		if p.done {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !p.done {
+		return nil, fmt.Errorf("verilog: missing endmodule")
+	}
+	return p.build()
+}
+
+type vGate struct {
+	kind GateKind
+	out  string
+	ins  []string
+	comp string
+}
+
+type vFF struct{ q, d, name, comp string }
+
+type vparser struct {
+	modName  string
+	inPorts  []string
+	outPorts []string
+	inputs   map[string]bool
+	wires    map[string]bool
+	regs     map[string]bool
+	gates    []vGate
+	gateOut  map[string]bool // wires already driven by a parsed gate
+	ffs      []vFF
+	ffQ      map[string]bool   // regs already assigned in the always block
+	outBinds map[string]string // output port -> driving net
+
+	curComp  string
+	inModule bool
+	inPorts_ bool
+	inAlways bool
+	done     bool
+}
+
+var vPrims = map[string]GateKind{
+	"and": And, "or": Or, "nand": Nand, "nor": Nor,
+	"xor": Xor, "xnor": Xnor, "not": Not, "buf": Buf,
+}
+
+func (p *vparser) line(raw string) error {
+	code, comment := raw, ""
+	if i := strings.Index(raw, "//"); i >= 0 {
+		code, comment = raw[:i], strings.TrimSpace(raw[i+2:])
+	}
+	code = strings.TrimSpace(code)
+
+	if code == "" {
+		if rest, ok := strings.CutPrefix(comment, "component:"); ok {
+			p.curComp = strings.TrimSpace(rest)
+		}
+		return nil
+	}
+
+	switch {
+	case strings.HasPrefix(code, "module "):
+		if p.inModule {
+			return fmt.Errorf("nested module")
+		}
+		f := strings.Fields(code)
+		if len(f) < 2 {
+			return fmt.Errorf("bad module header %q", code)
+		}
+		p.modName = strings.TrimSuffix(f[1], "(")
+		p.inModule, p.inPorts_ = true, true
+		p.inputs = map[string]bool{}
+		return nil
+
+	case !p.inModule:
+		return fmt.Errorf("statement %q before module header", code)
+
+	case p.inPorts_:
+		if code == ");" {
+			p.inPorts_ = false
+			return nil
+		}
+		port := strings.TrimSuffix(code, ",")
+		switch {
+		case strings.HasPrefix(port, "input wire "):
+			name := strings.TrimSpace(strings.TrimPrefix(port, "input wire "))
+			if name == "clk" {
+				return nil
+			}
+			if !identOK(name) {
+				return fmt.Errorf("bad input port %q", name)
+			}
+			if p.inputs[name] {
+				return fmt.Errorf("duplicate input port %q", name)
+			}
+			p.inputs[name] = true
+			p.inPorts = append(p.inPorts, name)
+			return nil
+		case strings.HasPrefix(port, "output wire "):
+			name := strings.TrimSpace(strings.TrimPrefix(port, "output wire "))
+			if !identOK(name) {
+				return fmt.Errorf("bad output port %q", name)
+			}
+			for _, o := range p.outPorts {
+				if o == name {
+					return fmt.Errorf("duplicate output port %q", name)
+				}
+			}
+			p.outPorts = append(p.outPorts, name)
+			return nil
+		}
+		return fmt.Errorf("bad port declaration %q", port)
+
+	case p.inAlways:
+		if code == "end" {
+			p.inAlways = false
+			return nil
+		}
+		return p.ffLine(code, comment)
+
+	case code == "endmodule":
+		p.done = true
+		return nil
+
+	case strings.HasPrefix(code, "always "):
+		p.inAlways = true
+		return nil
+
+	case strings.HasPrefix(code, "wire "):
+		return p.decl(code, "wire ", p.wires)
+
+	case strings.HasPrefix(code, "reg "):
+		return p.decl(code, "reg ", p.regs)
+
+	case strings.HasPrefix(code, "assign "):
+		return p.assign(code, comment)
+
+	default:
+		return p.instance(code)
+	}
+}
+
+func (p *vparser) decl(code, prefix string, set map[string]bool) error {
+	name := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(code, prefix)), ";")
+	if !identOK(name) {
+		return fmt.Errorf("bad %sdeclaration %q", prefix, code)
+	}
+	if p.inputs[name] || p.wires[name] || p.regs[name] {
+		return fmt.Errorf("duplicate declaration of %q", name)
+	}
+	set[name] = true
+	return nil
+}
+
+// ffLine parses one always-block statement: "Q <= D; // name (component C)".
+func (p *vparser) ffLine(code, comment string) error {
+	lhs, rhs, ok := strings.Cut(code, "<=")
+	if !ok {
+		return fmt.Errorf("bad flip-flop statement %q", code)
+	}
+	q := strings.TrimSpace(lhs)
+	d := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rhs), ";"))
+	if !identOK(q) || !identOK(d) {
+		return fmt.Errorf("bad flip-flop statement %q", code)
+	}
+	if !p.regs[q] {
+		return fmt.Errorf("flip-flop target %q is not a declared reg", q)
+	}
+	if p.ffQ[q] {
+		return fmt.Errorf("reg %q assigned twice", q)
+	}
+	p.ffQ[q] = true
+	name, comp := q, "<anon>"
+	if pre, post, ok := strings.Cut(comment, "(component "); ok {
+		if nm := strings.TrimSpace(pre); nm != "" {
+			name = nm
+		}
+		comp = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(post), ")"))
+	}
+	p.ffs = append(p.ffs, vFF{q: q, d: d, name: name, comp: comp})
+	return nil
+}
+
+// assign handles the three assign forms WriteVerilog emits: tie cells
+// ("x = 1'b0"), mux2 ("x = sel ? b : a"), and output port bindings
+// ("o_x = net").
+func (p *vparser) assign(code, comment string) error {
+	body := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(code, "assign ")), ";")
+	lhs, rhs, ok := strings.Cut(body, "=")
+	if !ok {
+		return fmt.Errorf("bad assign %q", code)
+	}
+	lhs, rhs = strings.TrimSpace(lhs), strings.TrimSpace(rhs)
+	if !identOK(lhs) {
+		return fmt.Errorf("bad assign target %q", lhs)
+	}
+	switch {
+	case rhs == "1'b0" || rhs == "1'b1":
+		k := Const0
+		if rhs == "1'b1" {
+			k = Const1
+		}
+		return p.addGate(k, lhs, nil)
+	case strings.Contains(rhs, "?"):
+		selS, tail, _ := strings.Cut(rhs, "?")
+		tS, fS, ok := strings.Cut(tail, ":")
+		sel, tv, fv := strings.TrimSpace(selS), strings.TrimSpace(tS), strings.TrimSpace(fS)
+		if !ok || !identOK(sel) || !identOK(tv) || !identOK(fv) {
+			return fmt.Errorf("bad mux assign %q", code)
+		}
+		// emitted as "sel ? b : a" for Mux2 inputs [sel, a, b]
+		return p.addGate(Mux2, lhs, []string{sel, fv, tv})
+	case identOK(rhs):
+		for _, o := range p.outPorts {
+			if o == lhs {
+				if _, dup := p.outBinds[lhs]; dup {
+					return fmt.Errorf("output port %q assigned twice", lhs)
+				}
+				p.outBinds[lhs] = rhs
+				return nil
+			}
+		}
+		return fmt.Errorf("assign to %q, which is not an output port", lhs)
+	}
+	return fmt.Errorf("unsupported assign %q", code)
+}
+
+// instance parses a primitive gate instance: "and g3 (out, a, b);".
+func (p *vparser) instance(code string) error {
+	open := strings.Index(code, "(")
+	close_ := strings.LastIndex(code, ")")
+	if open < 0 || close_ < open || !strings.HasSuffix(strings.TrimSpace(code[close_:]), ");") {
+		return fmt.Errorf("unrecognized statement %q", code)
+	}
+	head := strings.Fields(code[:open])
+	if len(head) != 2 {
+		return fmt.Errorf("bad gate instance %q", code)
+	}
+	kind, ok := vPrims[head[0]]
+	if !ok {
+		return fmt.Errorf("unknown primitive %q", head[0])
+	}
+	var conns []string
+	for _, c := range strings.Split(code[open+1:close_], ",") {
+		c = strings.TrimSpace(c)
+		if !identOK(c) {
+			return fmt.Errorf("bad connection %q in %q", c, code)
+		}
+		conns = append(conns, c)
+	}
+	if len(conns) < 2 {
+		return fmt.Errorf("gate instance %q needs an output and at least one input", code)
+	}
+	return p.addGate(kind, conns[0], conns[1:])
+}
+
+func (p *vparser) addGate(kind GateKind, out string, ins []string) error {
+	switch kind {
+	case Not, Buf:
+		if len(ins) != 1 {
+			return fmt.Errorf("%v gate %q needs exactly 1 input, got %d", kind, out, len(ins))
+		}
+	case Mux2:
+		if len(ins) != 3 {
+			return fmt.Errorf("mux %q needs 3 inputs, got %d", out, len(ins))
+		}
+	case Const0, Const1:
+		if len(ins) != 0 {
+			return fmt.Errorf("tie %q takes no inputs", out)
+		}
+	default:
+		if len(ins) < 2 {
+			return fmt.Errorf("%v gate %q needs at least 2 inputs, got %d", kind, out, len(ins))
+		}
+	}
+	if !p.wires[out] {
+		return fmt.Errorf("gate output %q is not a declared wire", out)
+	}
+	if p.gateOut[out] {
+		return fmt.Errorf("wire %q driven twice", out)
+	}
+	p.gateOut[out] = true
+	p.gates = append(p.gates, vGate{kind: kind, out: out, ins: ins, comp: p.curComp})
+	return nil
+}
+
+// build assembles the parsed declarations into a Netlist, creating gates in
+// topological order via a worklist (the emitter groups gates by component,
+// so file order is not evaluation order).
+func (p *vparser) build() (*Netlist, error) {
+	n := New(p.modName)
+	byName := map[string]NetID{}
+	for _, in := range p.inPorts {
+		byName[in] = n.Input(in)
+	}
+	// FF Q nets exist before any logic — they are sequential sources.
+	ffIDs := make([]FFID, len(p.ffs))
+	for i, ff := range p.ffs {
+		n.SetCurrentComp(n.Component(ff.comp))
+		id, q := n.DeclFF(ff.name)
+		n.nets[q].name = ff.q // reg identifier wins for re-emission stability
+		byName[ff.q] = q
+		ffIDs[i] = id
+	}
+	for q := range p.regs {
+		if _, ok := byName[q]; !ok {
+			return nil, fmt.Errorf("verilog: reg %q never assigned in always block", q)
+		}
+	}
+
+	built := make([]bool, len(p.gates))
+	for remaining := len(p.gates); remaining > 0; {
+		progress := false
+		for gi := range p.gates {
+			if built[gi] {
+				continue
+			}
+			g := &p.gates[gi]
+			ins := make([]NetID, len(g.ins))
+			ready := true
+			for i, name := range g.ins {
+				id, ok := byName[name]
+				if !ok {
+					if !p.wires[name] {
+						return nil, fmt.Errorf("verilog: gate %q reads undeclared net %q", g.out, name)
+					}
+					ready = false
+					break
+				}
+				ins[i] = id
+			}
+			if !ready {
+				continue
+			}
+			n.SetCurrentComp(n.Component(g.comp))
+			out := n.AddGate(g.kind, ins...)
+			n.nets[out].name = g.out
+			byName[g.out] = out
+			built[gi] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("verilog: combinational cycle or undriven wire among gate instances")
+		}
+	}
+	for w := range p.wires {
+		if _, ok := byName[w]; !ok {
+			return nil, fmt.Errorf("verilog: wire %q declared but never driven", w)
+		}
+	}
+
+	for i, ff := range p.ffs {
+		d, ok := byName[ff.d]
+		if !ok {
+			return nil, fmt.Errorf("verilog: flip-flop %q captures unknown net %q", ff.q, ff.d)
+		}
+		n.BindFFD(ffIDs[i], d)
+	}
+
+	for _, port := range p.outPorts {
+		net, ok := p.outBinds[port]
+		if !ok {
+			return nil, fmt.Errorf("verilog: output port %q never assigned", port)
+		}
+		id, ok := byName[net]
+		if !ok {
+			return nil, fmt.Errorf("verilog: output port %q bound to unknown net %q", port, net)
+		}
+		n.Output(id, "")
+	}
+
+	n.SetCurrentComp(0)
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// identOK reports whether s is a plain Verilog identifier of the form the
+// emitter produces (letters, digits, underscore; no leading digit).
+func identOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

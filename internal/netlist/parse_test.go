@@ -1,0 +1,152 @@
+package netlist_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rescue/internal/netlist"
+)
+
+func emit(t testing.TB, n *netlist.Netlist) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := n.WriteVerilog(&b); err != nil {
+		t.Fatalf("WriteVerilog: %v", err)
+	}
+	return b.Bytes()
+}
+
+// roundTrip emits n, reparses it, and checks the reparse is functionally
+// equivalent with identical interface shape and statistics.
+func roundTrip(t testing.TB, n *netlist.Netlist, seed uint64) *netlist.Netlist {
+	t.Helper()
+	src := emit(t, n)
+	back, err := netlist.ParseVerilog(bytes.NewReader(src))
+	if err != nil {
+		t.Fatalf("seed %d: reparse failed: %v\n%s", seed, err, src)
+	}
+	a, b := n.Stats(), back.Stats()
+	if a.Gates != b.Gates || a.FFs != b.FFs || a.Inputs != b.Inputs ||
+		a.Outputs != b.Outputs || a.Pins != b.Pins || !reflect.DeepEqual(a.ByKind, b.ByKind) {
+		t.Fatalf("seed %d: stats changed across round trip:\n  orig %+v\n  back %+v", seed, a, b)
+	}
+	if !reflect.DeepEqual(n.ComponentsUsed(), back.ComponentsUsed()) {
+		t.Fatalf("seed %d: components changed: %v vs %v", seed, n.ComponentsUsed(), back.ComponentsUsed())
+	}
+	if err := netlist.FunctionallyEquivalent(n, back, 8, seed); err != nil {
+		t.Fatalf("seed %d: round trip not equivalent: %v", seed, err)
+	}
+	return back
+}
+
+func TestVerilogRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		n := netlist.Random(netlist.RandomConfig{
+			Seed:    seed,
+			Gates:   5 + int(seed%50),
+			FFs:     1 + int(seed%7),
+			Inputs:  1 + int(seed%5),
+			Outputs: 1 + int(seed%4),
+			Comps:   1 + int(seed%4),
+		})
+		roundTrip(t, n, seed)
+	}
+}
+
+// TestVerilogRoundTripIdempotent: once parsed, emit/parse must be a fixed
+// point — the reparsed netlist re-emits byte-identically, since the parser
+// preserves every identifier.
+func TestVerilogRoundTripIdempotent(t *testing.T) {
+	n := netlist.Random(netlist.RandomConfig{Seed: 11})
+	back := roundTrip(t, n, 11)
+	again := roundTrip(t, back, 11)
+	if !bytes.Equal(emit(t, back), emit(t, again)) {
+		t.Fatal("emission not stable after one parse")
+	}
+}
+
+// TestParseVerilogRejects feeds structurally broken modules and requires a
+// clean error — never a panic, never silent acceptance.
+func TestParseVerilogRejects(t *testing.T) {
+	const head = "module m (\n  input wire clk,\n  input wire a,\n  output wire o_x\n);\n"
+	cases := map[string]string{
+		"empty":            "",
+		"no module":        "wire x;\n",
+		"no endmodule":     head + "  wire x;\n  buf g0 (x, a);\n  assign o_x = x;\n",
+		"undeclared out":   head + "  buf g0 (x, a);\n  assign o_x = x;\nendmodule\n",
+		"double driver":    head + "  wire x;\n  buf g0 (x, a);\n  buf g1 (x, a);\n  assign o_x = x;\nendmodule\n",
+		"unknown prim":     head + "  wire x;\n  frob g0 (x, a);\n  assign o_x = x;\nendmodule\n",
+		"bad arity not":    head + "  wire x;\n  not g0 (x, a, a);\n  assign o_x = x;\nendmodule\n",
+		"undriven wire":    head + "  wire x;\n  wire y;\n  buf g0 (x, y);\n  assign o_x = x;\nendmodule\n",
+		"comb cycle":       head + "  wire x;\n  wire y;\n  buf g0 (x, y);\n  buf g1 (y, x);\n  assign o_x = x;\nendmodule\n",
+		"unbound output":   head + "  wire x;\n  buf g0 (x, a);\nendmodule\n",
+		"unknown po net":   head + "  wire x;\n  buf g0 (x, a);\n  assign o_x = z;\nendmodule\n",
+		"reg no always":    head + "  wire x;\n  reg q;\n  buf g0 (x, a);\n  assign o_x = x;\nendmodule\n",
+		"ff unknown d":     head + "  wire x;\n  reg q;\n  buf g0 (x, a);\n  always @(posedge clk) begin\n    q <= zz;\n  end\n  assign o_x = x;\nendmodule\n",
+		"dup input port":   "module m (\n  input wire clk,\n  input wire a,\n  input wire a,\n  output wire o_x\n);\n  wire x;\n  buf g0 (x, a);\n  assign o_x = x;\nendmodule\n",
+		"assign non-port":  head + "  wire x;\n  wire y;\n  buf g0 (x, a);\n  assign y = x;\n  assign o_x = x;\nendmodule\n",
+		"gate into reg":    head + "  reg q;\n  buf g0 (q, a);\n  always @(posedge clk) begin\n    q <= a;\n  end\n  assign o_x = q;\nendmodule\n",
+		"double ff assign": head + "  reg q;\n  always @(posedge clk) begin\n    q <= a;\n    q <= a;\n  end\n  assign o_x = q;\nendmodule\n",
+	}
+	for name, src := range cases {
+		if _, err := netlist.ParseVerilog(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: parser accepted invalid module:\n%s", name, src)
+		}
+	}
+}
+
+// FuzzVerilogRoundTrip explores the generator's config space: every seed
+// must survive emit → reparse with functional equivalence intact.
+func FuzzVerilogRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(42))
+	f.Add(uint64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		n := netlist.Random(netlist.RandomConfig{
+			Seed:     seed,
+			Gates:    1 + int(seed%97),
+			FFs:      1 + int((seed>>8)%11),
+			Inputs:   1 + int((seed>>16)%7),
+			Outputs:  1 + int((seed>>24)%5),
+			MaxFanIn: 2 + int((seed>>32)%5),
+			Comps:    1 + int((seed>>40)%6),
+		})
+		if err := n.Validate(); err != nil {
+			t.Fatalf("generator produced invalid netlist: %v", err)
+		}
+		roundTrip(t, n, seed)
+	})
+}
+
+// FuzzParseVerilog hammers the parser with arbitrary bytes: it must never
+// panic, and anything it does accept must be a valid netlist that survives
+// an emit/reparse round trip.
+func FuzzParseVerilog(f *testing.F) {
+	f.Add([]byte("module m (\n  input wire clk\n);\nendmodule\n"))
+	for _, seed := range []uint64{1, 9} {
+		var b bytes.Buffer
+		if err := netlist.Random(netlist.RandomConfig{Seed: seed, Gates: 12, FFs: 3}).WriteVerilog(&b); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := netlist.ParseVerilog(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("parser accepted netlist that fails Validate: %v", err)
+		}
+		src := emit(t, n)
+		back, err := netlist.ParseVerilog(bytes.NewReader(src))
+		if err != nil {
+			t.Fatalf("accepted module does not re-parse: %v\n%s", err, src)
+		}
+		if err := netlist.FunctionallyEquivalent(n, back, 4, 1); err != nil {
+			t.Fatalf("accepted module not equivalent to its re-emission: %v", err)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package netlist
+
+import "fmt"
+
+// RandomConfig controls the seeded netlist generator. The zero value of
+// every knob selects a sensible default; minimums are enforced so any
+// config yields a valid scannable circuit (at least one input and one FF).
+type RandomConfig struct {
+	Seed     uint64
+	Gates    int // combinational gates (default 40)
+	FFs      int // flip-flops (default 8, min 1)
+	Inputs   int // primary inputs (default 6, min 1)
+	Outputs  int // primary outputs (default 4, min 1)
+	MaxFanIn int // max inputs per multi-input gate (default 4, min 2)
+	Comps    int // ICI components to scatter gates across (default 3, min 1)
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	def := func(v *int, d, min int) {
+		if *v == 0 {
+			*v = d
+		}
+		if *v < min {
+			*v = min
+		}
+	}
+	def(&c.Gates, 40, 0)
+	def(&c.FFs, 8, 1)
+	def(&c.Inputs, 6, 1)
+	def(&c.Outputs, 4, 1)
+	def(&c.MaxFanIn, 4, 2)
+	def(&c.Comps, 3, 1)
+	return c
+}
+
+// randRNG is a splitmix64 generator: tiny, deterministic across platforms
+// and Go versions, so seed N always names the same circuit.
+type randRNG struct{ s uint64 }
+
+func (r *randRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *randRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Random generates a pseudo-random but always-valid netlist from a seed:
+// a levelized DAG of gates over primary inputs and FF outputs, with
+// sequential feedback through flip-flops, random ICI component tags, and
+// primary outputs drawn from arbitrary nets. The construction deliberately
+// exercises the corner cases that have bitten the fault simulator before:
+// FF Q nets feeding other FFs' D pins directly (no gate in between),
+// several FFs sharing one D net, FF Q nets doubling as primary outputs,
+// self-looped FFs, tie cells, and multi-fanout nets.
+//
+// The same seed and config always produce the identical netlist, so a seed
+// is a complete, reproducible name for a test circuit.
+func Random(cfg RandomConfig) *Netlist {
+	cfg = cfg.withDefaults()
+	r := randRNG{s: cfg.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+	n := New(fmt.Sprintf("rand%d", cfg.Seed))
+
+	comps := make([]CompID, cfg.Comps)
+	for i := range comps {
+		comps[i] = n.Component(fmt.Sprintf("lc%d", i))
+	}
+	n.SetCurrentComp(comps[0])
+
+	var pool []NetID
+	for i := 0; i < cfg.Inputs; i++ {
+		pool = append(pool, n.Input(fmt.Sprintf("i%d", i)))
+	}
+
+	// Declare roughly half the FFs up-front so their Q nets can feed the
+	// combinational logic, creating real sequential feedback loops.
+	nDecl := cfg.FFs/2 + 1
+	if nDecl > cfg.FFs {
+		nDecl = cfg.FFs
+	}
+	decl := make([]FFID, nDecl)
+	for i := 0; i < nDecl; i++ {
+		n.SetCurrentComp(comps[r.intn(len(comps))])
+		id, q := n.DeclFF(fmt.Sprintf("ff%d", i))
+		decl[i] = id
+		pool = append(pool, q)
+	}
+
+	// pick returns a random driven net, biased toward recently created nets
+	// half the time so chains grow deep instead of the DAG staying flat.
+	pick := func() NetID {
+		if len(pool) > 4 && r.intn(2) == 0 {
+			lo := len(pool) - len(pool)/4
+			return pool[lo+r.intn(len(pool)-lo)]
+		}
+		return pool[r.intn(len(pool))]
+	}
+
+	// multi-input kinds weighted heavier than inverters/buffers
+	kinds := []GateKind{And, Or, Nand, Nor, Xor, Xnor, And, Or, Nand, Nor, Not, Buf, Mux2}
+	for g := 0; g < cfg.Gates; g++ {
+		if r.intn(4) == 0 {
+			n.SetCurrentComp(comps[r.intn(len(comps))])
+		}
+		var out NetID
+		if r.intn(64) == 0 {
+			out = n.Const(r.intn(2) == 1)
+		} else {
+			switch k := kinds[r.intn(len(kinds))]; k {
+			case Not, Buf:
+				out = n.AddGate(k, pick())
+			case Mux2:
+				out = n.AddGate(k, pick(), pick(), pick())
+			default:
+				ins := make([]NetID, 2+r.intn(cfg.MaxFanIn-1))
+				for i := range ins {
+					ins[i] = pick()
+				}
+				out = n.AddGate(k, ins...)
+			}
+		}
+		pool = append(pool, out)
+	}
+
+	// Bind the declared FFs. Picking freely from the pool means a D net may
+	// be another FF's Q (a direct FF-to-FF transfer with no gate between)
+	// or even the FF's own Q (a hold register).
+	for _, id := range decl {
+		n.BindFFD(id, pick())
+	}
+	// The remaining FFs capture arbitrary nets; independent picks can
+	// repeat, giving several FFs one shared D net.
+	for i := nDecl; i < cfg.FFs; i++ {
+		n.SetCurrentComp(comps[r.intn(len(comps))])
+		pool = append(pool, n.AddFF(pick(), fmt.Sprintf("ff%d", i)))
+	}
+
+	// Distinct primary outputs from the whole pool — gate outputs, FF Q
+	// nets, and primary inputs are all fair game.
+	taken := map[NetID]bool{}
+	outs := 0
+	for attempts := 0; outs < cfg.Outputs && attempts < cfg.Outputs*20; attempts++ {
+		id := pick()
+		if taken[id] {
+			continue
+		}
+		taken[id] = true
+		n.Output(id, fmt.Sprintf("po%d", outs))
+		outs++
+	}
+	if outs == 0 {
+		n.Output(pool[len(pool)-1], "po0")
+	}
+	return n
+}

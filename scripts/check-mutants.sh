@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Mutation check for the differential verification harness: inject a
+# handful of hand-picked single-line mutants into the event-driven fault
+# simulator and require that the sim-vs-oracle harness catches every one.
+# A surviving mutant means the harness has a blind spot — the build fails.
+#
+# Each mutant is a sed substitution against internal/fault/sim.go, chosen
+# to break a distinct mechanism:
+#   1 off-by-one: drop the last level bucket from propagation
+#   2 inverted epoch guard: re-seed already-seeded observation points
+#   3 inverted lane mask: observe only the padding lanes of short words
+#   4 inverted event filter: propagate only *unchanged* gate outputs
+#   5 wrong stuck polarity: stuck-at-1 injects a single-lane constant
+#
+# Usage: scripts/check-mutants.sh [seed range, default 0:40]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+range="${1:-0:40}"
+target=internal/fault/sim.go
+
+mutants=(
+  's/for lv := int32(0); lv <= c.maxLevel \&\& !capped; lv++/for lv := int32(0); lv < c.maxLevel \&\& !capped; lv++/'
+  's/if scr.obsEp\[oi\] != scr.runEp {/if scr.obsEp[oi] == scr.runEp {/'
+  's/if diff := (faulty ^ c.goodResp\[w\]\[oi\]) \& mask; diff != 0 {/if diff := (faulty ^ c.goodResp[w][oi]) \&^ mask; diff != 0 {/'
+  's/if (v^good\[g.Out\])\&mask == 0 {/if (v^good[g.Out])\&mask != 0 {/'
+  's/stuckWord = \^uint64(0)/stuckWord = 1/'
+)
+
+tmp=$(mktemp -d)
+cp "$target" "$tmp/sim.go.orig"
+trap 'cp "$tmp/sim.go.orig" "$target"; rm -rf "$tmp"' EXIT
+
+echo "== baseline: harness must pass on unmutated code"
+go build -o "$tmp/rescue-diffcheck" ./cmd/rescue-diffcheck
+"$tmp/rescue-diffcheck" -seeds "$range" -workers 1,2 > /dev/null
+
+fail=0
+for i in "${!mutants[@]}"; do
+    m=${mutants[$i]}
+    cp "$tmp/sim.go.orig" "$target"
+    sed -i "$m" "$target"
+    if cmp -s "$tmp/sim.go.orig" "$target"; then
+        echo "FAIL: mutant $((i + 1)) did not apply — sim.go drifted from the sed anchors" >&2
+        fail=1
+        continue
+    fi
+    if ! go build -o "$tmp/rescue-diffcheck" ./cmd/rescue-diffcheck 2> "$tmp/build.err"; then
+        echo "FAIL: mutant $((i + 1)) does not compile:" >&2
+        cat "$tmp/build.err" >&2
+        fail=1
+        continue
+    fi
+    if "$tmp/rescue-diffcheck" -seeds "$range" -workers 1,2 > "$tmp/out.txt" 2>&1; then
+        echo "FAIL: mutant $((i + 1)) SURVIVED the differential harness:" >&2
+        echo "  $m" >&2
+        fail=1
+    else
+        echo "ok: mutant $((i + 1)) caught"
+    fi
+done
+
+cp "$tmp/sim.go.orig" "$target"
+if [ "$fail" -ne 0 ]; then
+    echo "mutation check FAILED" >&2
+    exit 1
+fi
+echo "all ${#mutants[@]} mutants caught"
