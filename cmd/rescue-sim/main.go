@@ -5,10 +5,14 @@
 // Usage:
 //
 //	rescue-sim [-params] [-bench name,name,...] [-warmup N] [-commit N]
-//	           [-workers N] [-degraded fe,ib,fb,iqi,iqf,lsq]
+//	           [-workers N] [-timeout D] [-degraded fe,ib,fb,iqi,iqf,lsq]
+//
+// SIGINT/SIGTERM stop the study between simulations and exit 130; a
+// -timeout deadline exits 124.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"strconv"
@@ -27,14 +31,19 @@ func main() {
 	warmup := flag.Int64("warmup", 100_000, "warmup instructions")
 	commit := flag.Int64("commit", 1_000_000, "measured instructions")
 	workers := flag.Int("workers", 0, "simulation workers (0 = all cores)")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); exceeded = exit 124")
 	degraded := flag.String("degraded", "", "degraded config counts: fe,ib,fb,iqi,iqf,lsq")
 	flag.Parse()
 	cli.CheckWorkers(*workers)
+	cli.CheckTimeout(*timeout)
 
 	if *params {
 		printParams()
 		return
 	}
+
+	ctx, stop := cli.FlowContext(*timeout)
+	defer stop()
 
 	var names []string
 	if *benches != "" {
@@ -42,18 +51,18 @@ func main() {
 	}
 
 	if *degraded != "" {
-		runDegraded(names, *degraded, *warmup, *commit)
+		runDegraded(ctx, names, *degraded, *warmup, *commit)
 		return
 	}
 
 	if *report {
-		runReport(names, *warmup, *commit)
+		runReport(ctx, names, *warmup, *commit)
 		return
 	}
 
-	rows, err := core.IPCStudyWorkers(names, *warmup, *commit, *workers)
+	rows, err := core.IPCStudyFlow(ctx, names, *warmup, *commit, *workers)
 	if err != nil {
-		cli.Fatalf("%v", err)
+		cli.ExitErr(err)
 	}
 	fmt.Println("Figure 8: IPC degradation (paper: 0% (swim) to 10% (bzip), mean 4%)")
 	fmt.Println()
@@ -69,11 +78,14 @@ func main() {
 
 // runReport prints each benchmark's detailed statistics (occupancy,
 // replay/squash counters) for both machines.
-func runReport(names []string, warmup, commit int64) {
+func runReport(ctx context.Context, names []string, warmup, commit int64) {
 	if names == nil {
 		names = []string{"gzip", "swim", "mcf"}
 	}
 	for _, name := range names {
+		if ctx.Err() != nil {
+			cli.ExitErr(context.Cause(ctx))
+		}
 		prof, err := workload.ByName(name)
 		if err != nil {
 			cli.Usagef("%v", err)
@@ -95,7 +107,7 @@ func runReport(names []string, warmup, commit int64) {
 	}
 }
 
-func runDegraded(names []string, spec string, warmup, commit int64) {
+func runDegraded(ctx context.Context, names []string, spec string, warmup, commit int64) {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 6 {
 		cli.Usagef("-degraded needs 6 comma-separated counts: fe,ib,fb,iqi,iqf,lsq")
@@ -120,6 +132,9 @@ func runDegraded(names []string, spec string, warmup, commit int64) {
 	fmt.Printf("degraded configuration: %v\n\n", d)
 	fmt.Printf("%-10s %9s %10s %7s\n", "benchmark", "full", "degraded", "loss%")
 	for _, name := range names {
+		if ctx.Err() != nil {
+			cli.ExitErr(context.Cause(ctx))
+		}
 		prof, err := workload.ByName(name)
 		if err != nil {
 			cli.Usagef("%v", err)

@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	rescue-trace record -bench gzip -n 1000000 -o gzip.rsct
-//	rescue-trace replay -i gzip.rsct [-rescue] [-warmup N] [-commit N]
+//	rescue-trace record -bench gzip -n 1000000 -o gzip.rsct [-timeout D]
+//	rescue-trace replay -i gzip.rsct [-rescue] [-warmup N] [-commit N] [-timeout D]
+//
+// SIGINT/SIGTERM abort the trace stream and exit 130; a -timeout
+// deadline exits 124. An interrupted record leaves a truncated file.
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"rescue/internal/cli"
 	"rescue/internal/trace"
 	"rescue/internal/uarch"
 	"rescue/internal/workload"
@@ -42,26 +46,27 @@ func record(args []string) {
 	bench := fs.String("bench", "gzip", "benchmark to record")
 	n := fs.Int64("n", 1_000_000, "instructions")
 	out := fs.String("o", "", "output file (required)")
+	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none); exceeded = exit 124")
 	fs.Parse(args)
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "record: -o required")
 		os.Exit(2)
 	}
+	cli.CheckTimeout(*timeout)
+	ctx, stop := cli.FlowContext(*timeout)
+	defer stop()
 	prof, err := workload.ByName(*bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.ExitErr(err)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.ExitErr(err)
 	}
 	defer f.Close()
-	tw, err := trace.Record(f, workload.New(prof), *n)
+	tw, err := trace.Record(&cli.CtxWriter{Ctx: ctx, W: f}, workload.New(prof), *n)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.ExitErr(err)
 	}
 	st, _ := f.Stat()
 	fmt.Printf("recorded %d instructions of %s to %s (%.2f bytes/inst)\n",
@@ -74,21 +79,23 @@ func replay(args []string) {
 	rescueMachine := fs.Bool("rescue", false, "simulate the Rescue machine (default baseline)")
 	warmup := fs.Int64("warmup", 50_000, "warmup instructions")
 	commit := fs.Int64("commit", 500_000, "measured instructions")
+	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none); exceeded = exit 124")
 	fs.Parse(args)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "replay: -i required")
 		os.Exit(2)
 	}
+	cli.CheckTimeout(*timeout)
+	ctx, stop := cli.FlowContext(*timeout)
+	defer stop()
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.ExitErr(err)
 	}
 	defer f.Close()
-	tr, err := trace.NewReader(f)
+	tr, err := trace.NewReader(&cli.CtxReader{Ctx: ctx, R: f})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.ExitErr(err)
 	}
 	p := uarch.DefaultParams()
 	if *rescueMachine {
@@ -96,10 +103,14 @@ func replay(args []string) {
 	}
 	sim, err := uarch.NewFromSource(p, tr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.ExitErr(err)
 	}
 	st := sim.Run(*warmup, *commit)
+	// A context abort surfaces as the reader's sticky error: report it as
+	// an interrupt/deadline, not a decode failure.
+	if err := tr.Err(); err != nil {
+		cli.ExitErr(err)
+	}
 	machine := "baseline"
 	if *rescueMachine {
 		machine = "rescue"
@@ -108,9 +119,5 @@ func replay(args []string) {
 		machine, st.IPC(), st.Committed, st.Cycles)
 	if tr.Done() {
 		fmt.Println("note: trace exhausted during the run (tail padded with NOPs)")
-	}
-	if err := tr.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "trace decode error:", err)
-		os.Exit(1)
 	}
 }

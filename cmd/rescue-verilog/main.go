@@ -6,14 +6,20 @@
 //
 // Usage:
 //
-//	rescue-verilog [-variant baseline|rescue] [-small] [-o file.v] [-dot file.dot]
+//	rescue-verilog [-variant baseline|rescue] [-small] [-o file.v]
+//	               [-dot file.dot] [-timeout D]
+//
+// SIGINT/SIGTERM abort the dump mid-stream and exit 130; a -timeout
+// deadline exits 124. An interrupted dump leaves a truncated file.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"rescue/internal/cli"
 	"rescue/internal/rtl"
 )
 
@@ -22,7 +28,9 @@ func main() {
 	small := flag.Bool("small", false, "use the reduced (2-way) configuration")
 	out := flag.String("o", "", "Verilog output file (default stdout)")
 	dot := flag.String("dot", "", "also write component connectivity as Graphviz")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); exceeded = exit 124")
 	flag.Parse()
+	cli.CheckTimeout(*timeout)
 
 	v := rtl.RescueDesign
 	switch *variant {
@@ -30,43 +38,41 @@ func main() {
 	case "baseline":
 		v = rtl.Baseline
 	default:
-		fmt.Fprintln(os.Stderr, "variant must be baseline or rescue")
-		os.Exit(2)
+		cli.Usagef("variant must be baseline or rescue")
 	}
 	cfg := rtl.Default()
 	if *small {
 		cfg = rtl.Small()
 	}
+
+	ctx, stop := cli.FlowContext(*timeout)
+	defer stop()
+
 	d, err := rtl.Build(cfg, v)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.ExitErr(err)
 	}
 
-	w := os.Stdout
+	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.ExitErr(err)
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := d.N.WriteVerilog(w); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err := d.N.WriteVerilog(&cli.CtxWriter{Ctx: ctx, W: w}); err != nil {
+		cli.ExitErr(err)
 	}
 	if *dot != "" {
 		f, err := os.Create(*dot)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.ExitErr(err)
 		}
 		defer f.Close()
-		if err := d.N.WriteDot(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := d.N.WriteDot(&cli.CtxWriter{Ctx: ctx, W: f}); err != nil {
+			cli.ExitErr(err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d gates, %d FFs, %d components\n",

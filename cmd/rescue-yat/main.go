@@ -7,16 +7,20 @@
 //
 //	rescue-yat -areas
 //	rescue-yat [-stagnate 90|65] [-bench list] [-warmup N] [-commit N]
+//	           [-workers N] [-timeout D]
+//
+// SIGINT/SIGTERM stop the study between simulations and exit 130; a
+// -timeout deadline exits 124.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
 	"rescue/internal/area"
+	"rescue/internal/cli"
 	"rescue/internal/core"
 )
 
@@ -26,12 +30,19 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 23)")
 	warmup := flag.Int64("warmup", 20_000, "warmup instructions per simulation")
 	commit := flag.Int64("commit", 150_000, "measured instructions per simulation")
+	workers := flag.Int("workers", 0, "simulation workers (0 = all cores)")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); exceeded = exit 124")
 	flag.Parse()
+	cli.CheckWorkers(*workers)
+	cli.CheckTimeout(*timeout)
 
 	if *areas {
 		printAreas()
 		return
 	}
+
+	ctx, stop := cli.FlowContext(*timeout)
+	defer stop()
 
 	var names []string
 	if *benches != "" {
@@ -43,10 +54,9 @@ func main() {
 	models := map[int]*core.PerfModel{}
 	for _, node := range area.Nodes() {
 		start := time.Now()
-		pm, err := core.BuildPerfModel(node, names, *warmup, *commit)
+		pm, err := core.BuildPerfModelFlow(ctx, node, names, *warmup, *commit, *workers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.ExitErr(err)
 		}
 		models[node.NodeNM] = pm
 		fmt.Printf("  %dnm model built (%s)\n", node.NodeNM, time.Since(start).Round(time.Second))
@@ -54,8 +64,7 @@ func main() {
 
 	rows, err := core.YATStudy(area.Node(*stagnate), models)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.ExitErr(err)
 	}
 	fmt.Println()
 	fmt.Printf("%5s %7s %6s %8s %8s %8s %12s\n",

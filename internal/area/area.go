@@ -91,6 +91,23 @@ func BaselineWithScan() Model {
 // Rescue returns the Rescue core model: transformation overheads applied,
 // scan-cell area charged to chipkill.
 func Rescue() Model {
+	m, _ := rescueModel()
+	return m
+}
+
+// RescueScanFrac returns the fraction of the Rescue chipkill bucket that
+// is scan cells — the area moved out of the redundant blocks by the
+// measured scan fractions over the final chipkill area. The fab engine
+// uses it to split chipkill-bucket defects into scan-cell hits (caught by
+// the chain flush test) and chipkill-logic hits (isolated by patterns).
+func RescueScanFrac() float64 {
+	m, scanArea := rescueModel()
+	return scanArea / m.PairArea[Chipkill]
+}
+
+// rescueModel builds the Rescue area model and reports the scan-cell area
+// folded into the chipkill bucket.
+func rescueModel() (Model, float64) {
 	var m Model
 	fe := rawFrontend * (1 + shiftFE + 0.5*tableFracOfFE) // shifters + table copies
 	iqi := rawIntIQ
@@ -130,7 +147,7 @@ func Rescue() Model {
 	for g := Group(0); g < NumGroups; g++ {
 		m.Total += m.PairArea[g]
 	}
-	return m
+	return m, moveQ + moveL
 }
 
 // RescueSelfHeal extends the Rescue model with the self-healing-array

@@ -41,13 +41,7 @@ func TestExitCodes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cases := []struct {
-		name     string
-		bin      string
-		args     []string
-		wantExit int
-		wantErr  string // substring required on stderr ("" = don't care)
-	}{
+	cases := []exitCase{
 		{"sim negative workers", "rescue-sim", []string{"-workers=-1"}, 2, "usage error"},
 		{"atpg negative workers", "rescue-atpg", []string{"-workers=-1"}, 2, "usage error"},
 		{"dict negative workers", "rescue-dict", []string{"build", "-workers=-1", "-o", "x.csv"}, 2, "usage error"},
@@ -66,6 +60,52 @@ func TestExitCodes(t *testing.T) {
 		{"diffcheck unknown flag", "rescue-diffcheck", []string{"-no-such-flag"}, 2, ""},
 		{"diffcheck small passing range", "rescue-diffcheck", []string{"-seeds", "0:2", "-workers", "1,2"}, 0, ""},
 	}
+	runCases(t, bins, cases)
+}
+
+// TestDeadlineExitCodes pins the -timeout contract added with the fab
+// flow: every long-running CLI validates the flag (negative = usage
+// error) and exits 124 when the deadline fires. A 1ns deadline is
+// already expired by the first context check, so these paths return as
+// soon as each command reaches its flow entry point.
+func TestDeadlineExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t, "rescue-sim", "rescue-yat", "rescue-trace", "rescue-verilog", "rescue-fab")
+	tmp := t.TempDir()
+
+	cases := []exitCase{
+		{"sim negative timeout", "rescue-sim", []string{"-timeout=-1s"}, 2, "usage error"},
+		{"yat negative workers", "rescue-yat", []string{"-workers=-1"}, 2, "usage error"},
+		{"fab negative workers", "rescue-fab", []string{"-workers=-1"}, 2, "usage error"},
+		{"fab resume without checkpoint", "rescue-fab", []string{"-resume"}, 2, "usage error"},
+		{"fab zero dies", "rescue-fab", []string{"-dies=0"}, 2, "usage error"},
+		{"fab bad node", "rescue-fab", []string{"-node=45"}, 2, "usage error"},
+		{"sim deadline", "rescue-sim",
+			[]string{"-timeout=1ns", "-bench", "gzip", "-warmup", "100", "-commit", "100"}, 124, "deadline"},
+		{"yat deadline", "rescue-yat",
+			[]string{"-timeout=1ns", "-bench", "gzip", "-warmup", "10", "-commit", "10"}, 124, "deadline"},
+		{"trace record deadline", "rescue-trace",
+			[]string{"record", "-timeout=1ns", "-n", "1000", "-o", filepath.Join(tmp, "t.rsct")}, 124, "deadline"},
+		{"verilog deadline", "rescue-verilog",
+			[]string{"-small", "-timeout=1ns", "-o", filepath.Join(tmp, "t.v")}, 124, "deadline"},
+		{"fab deadline", "rescue-fab",
+			[]string{"-small", "-timeout=1ns", "-dies", "2"}, 124, "deadline"},
+	}
+	runCases(t, bins, cases)
+}
+
+type exitCase struct {
+	name     string
+	bin      string
+	args     []string
+	wantExit int
+	wantErr  string // substring required on stderr ("" = don't care)
+}
+
+func runCases(t *testing.T, bins map[string]string, cases []exitCase) {
+	t.Helper()
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cmd := exec.Command(bins[tc.bin], tc.args...)

@@ -13,6 +13,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"rescue/internal/atpg"
@@ -93,10 +94,21 @@ func (s *System) Summary(tp *TestProgram) ScanSummary {
 	}
 }
 
+// MapOut sentinel errors, distinguishable with errors.Is: the fab flow
+// bins dies by which way a diagnosis left no working configuration.
+var (
+	// ErrChipkill reports a fault isolated to the chipkill logic.
+	ErrChipkill = errors.New("core: fault in chipkill logic — core unusable")
+	// ErrDead reports a degraded configuration with both members of some
+	// redundant pair down.
+	ErrDead = errors.New("core: degraded configuration is dead")
+)
+
 // MapOut converts a set of isolated faulty super-components into a
 // degraded configuration for the performance model — the fault-map
 // register's contents. It returns an error when the component set leaves
-// no working configuration (chipkill, or both members of a pair down).
+// no working configuration: ErrChipkill, ErrDead (both wrapped), or an
+// unknown-super error.
 func MapOut(supers []string) (uarch.Degraded, error) {
 	var d uarch.Degraded
 	seen := map[string]bool{}
@@ -115,13 +127,13 @@ func MapOut(supers []string) (uarch.Degraded, error) {
 		case "LSQ0", "LSQ1":
 			d.LSQHalvesDown++
 		case "CHIPKILL":
-			return d, fmt.Errorf("core: fault in chipkill logic — core unusable")
+			return d, ErrChipkill
 		default:
 			return d, fmt.Errorf("core: unknown super-component %q", s)
 		}
 	}
 	if d.Dead() {
-		return d, fmt.Errorf("core: degraded configuration %v is dead", d)
+		return d, fmt.Errorf("%w: %v", ErrDead, d)
 	}
 	return d, nil
 }

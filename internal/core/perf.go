@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -53,6 +54,13 @@ func runIPC(p uarch.Params, prof workload.Profile, warmup, commit int64) (float6
 
 // parallelMap runs jobs across workers goroutines (<= 0 = all CPUs).
 func parallelMap(n, workers int, f func(i int)) {
+	parallelMapCtx(context.Background(), n, workers, f)
+}
+
+// parallelMapCtx is parallelMap with cooperative cancellation at job
+// granularity: once ctx is done no new jobs are dispatched, in-flight
+// jobs finish, and the context's cause is returned.
+func parallelMapCtx(ctx context.Context, n, workers int, f func(i int)) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -70,11 +78,19 @@ func parallelMap(n, workers int, f func(i int)) {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for i := 0; i < n; i++ {
-		ch <- i
+		select {
+		case <-ctx.Done():
+			err = context.Cause(ctx)
+			break dispatch
+		case ch <- i:
+		}
 	}
 	close(ch)
 	wg.Wait()
+	return err
 }
 
 // IPCStudy reproduces Figure 8: fault-free baseline vs. Rescue IPC for the
@@ -88,13 +104,20 @@ func IPCStudy(benchNames []string, warmup, commit int64) ([]IPCRow, error) {
 // degree (<= 0 = all cores). Rows land in disjoint per-index slots, so the
 // result is identical at any worker count.
 func IPCStudyWorkers(benchNames []string, warmup, commit int64, workers int) ([]IPCRow, error) {
+	return IPCStudyFlow(context.Background(), benchNames, warmup, commit, workers)
+}
+
+// IPCStudyFlow is IPCStudyWorkers with cooperative cancellation: once ctx
+// is done no new benchmark simulations start and the context's cause is
+// returned (the partial rows alongside it).
+func IPCStudyFlow(ctx context.Context, benchNames []string, warmup, commit int64, workers int) ([]IPCRow, error) {
 	profs, err := resolve(benchNames)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]IPCRow, len(profs))
 	errs := make([]error, len(profs))
-	parallelMap(len(profs), workers, func(i int) {
+	cerr := parallelMapCtx(ctx, len(profs), workers, func(i int) {
 		base, err1 := runIPC(uarch.DefaultParams(), profs[i], warmup, commit)
 		resc, err2 := runIPC(uarch.RescueParams(), profs[i], warmup, commit)
 		if err1 != nil {
@@ -111,6 +134,9 @@ func IPCStudyWorkers(benchNames []string, warmup, commit int64, workers int) ([]
 			rows[i].DegradationPct = (1 - resc/base) * 100
 		}
 	})
+	if cerr != nil {
+		return rows, cerr
+	}
 	for _, e := range errs {
 		if e != nil {
 			return rows, e
@@ -159,6 +185,13 @@ func toDegraded(c yield.CoreConfig) uarch.Degraded {
 // at a node. This is the expensive step of Figure 9; warmup/commit control
 // the accuracy/runtime trade.
 func BuildPerfModel(node area.Scaling, benchNames []string, warmup, commit int64) (*PerfModel, error) {
+	return BuildPerfModelFlow(context.Background(), node, benchNames, warmup, commit, 0)
+}
+
+// BuildPerfModelFlow is BuildPerfModel with cooperative cancellation and
+// an explicit simulation concurrency degree (<= 0 = all cores). Once ctx
+// is done no new simulations start and the context's cause is returned.
+func BuildPerfModelFlow(ctx context.Context, node area.Scaling, benchNames []string, warmup, commit int64, workers int) (*PerfModel, error) {
 	profs, err := resolve(benchNames)
 	if err != nil {
 		return nil, err
@@ -183,7 +216,7 @@ func BuildPerfModel(node area.Scaling, benchNames []string, warmup, commit int64
 	}
 	results := make([]float64, len(jobs))
 	errs := make([]error, len(jobs))
-	parallelMap(len(jobs), 0, func(i int) {
+	cerr := parallelMapCtx(ctx, len(jobs), workers, func(i int) {
 		j := jobs[i]
 		var p uarch.Params
 		if j.cfg < 0 {
@@ -194,6 +227,9 @@ func BuildPerfModel(node area.Scaling, benchNames []string, warmup, commit int64
 		}
 		results[i], errs[i] = runIPC(p, profs[j.bench], warmup, commit)
 	})
+	if cerr != nil {
+		return nil, cerr
+	}
 	for i, j := range jobs {
 		if errs[i] != nil {
 			return nil, errs[i]

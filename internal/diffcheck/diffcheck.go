@@ -15,7 +15,11 @@
 //	P4  ICI-style function-preserving transforms (gate privatization,
 //	    buffer insertion) leave the circuit functionally equivalent;
 //	P5  PODEM test cubes actually detect their target fault under the
-//	    oracle with all unassigned positions filled with zeros.
+//	    oracle with all unassigned positions filled with zeros;
+//	P6  union-of-failing-bits isolation is sound: with k random faults
+//	    injected at once, every super-component the diagnosis reports
+//	    contains an injected fault, or the die is flagged undiagnosable
+//	    (chipkill) — never a confident misdiagnosis.
 //
 // A seed fully names a circuit and stimuli, so any reported failure is
 // replayable with `rescue-diffcheck -seed N` and shrinkable to a minimal
@@ -30,7 +34,9 @@ import (
 	"reflect"
 
 	"rescue/internal/atpg"
+	"rescue/internal/fab"
 	"rescue/internal/fault"
+	"rescue/internal/ici"
 	"rescue/internal/netlist"
 	"rescue/internal/scan"
 )
@@ -221,6 +227,51 @@ func CheckConfig(ctx context.Context, cfg netlist.RandomConfig, opt Options) err
 		if !fault.NewOracle(c, []*scan.Pattern{p}).Run(f, 1).Detected {
 			return fmt.Errorf("P5 atpg: PODEM cube for fault %v does not detect it under the oracle (cube PI=%v FF=%v)",
 				f, cube.PI, cube.FF)
+		}
+	}
+
+	// P6: multi-fault isolation soundness. Inject k simultaneous faults,
+	// union their failing bits (exact under ICI: one capture cycle, so a
+	// fault only reaches observation points inside its own cone), diagnose
+	// with the same machinery the fab flow uses, and demand that every
+	// implicated component really hosts an injected fault. Random circuits
+	// routinely violate ICI; those bits must surface as ambiguous
+	// (chipkill), never as a confident wrong answer. Scan-cell faults are
+	// the chain flush's job, not diagnosis's.
+	audit := ici.Audit(n, nil)
+	pr := rng{s: seed ^ 0x517cc1b727220a95}
+	k := 1 + int(pr.next()%3)
+	idxs := make([]int, k)
+	injected := make([]netlist.Fault, k)
+	for i := range idxs {
+		idxs[i] = int(pr.next() % uint64(len(u.All)))
+		injected[i] = u.All[idxs[i]]
+	}
+	if !fab.ChainFail(injected) {
+		var obs []int
+		seen := map[int]bool{}
+		for _, i := range idxs {
+			if !serial[i].Detected {
+				continue
+			}
+			for _, oi := range serial[i].FailObs {
+				if !seen[oi] {
+					seen[oi] = true
+					obs = append(obs, oi)
+				}
+			}
+		}
+		if supers, ambiguous := fab.Diagnose(audit, obs); !ambiguous {
+			injComp := map[string]bool{}
+			for _, f := range injected {
+				injComp[n.CompName(n.FaultSiteComp(f))] = true
+			}
+			for _, s := range supers {
+				if !injComp[s] {
+					return fmt.Errorf("P6 isolate: faults %v (comps %v) diagnosed as %v: %q hosts no injected fault",
+						injected, injComp, supers, s)
+				}
+			}
 		}
 	}
 

@@ -1,0 +1,50 @@
+package fab
+
+import (
+	"sort"
+
+	"rescue/internal/ici"
+	"rescue/internal/netlist"
+)
+
+// Diagnose maps the union of failing observation points of a scan test to
+// the implicated super-component set, with the conservative fallback the
+// manufacturing flow requires: a failing bit the ICI audit flagged as
+// violating — or one implicating no super-component at all — makes the
+// whole diagnosis ambiguous. An ambiguous die is treated as chipkill
+// rather than risk programming a wrong fault map and shipping a core that
+// still computes with a defect in the datapath.
+//
+// Under a clean audit the union of each fault's failing bits equals the
+// simultaneous multi-fault response: every observation cone is fed by a
+// single super-component, so a fault in one component cannot mask or
+// excite observation points of another (the ICI corollary of Section 3.1).
+func Diagnose(audit *ici.AuditResult, failObs []int) (supers []string, ambiguous bool) {
+	set := map[string]bool{}
+	for _, oi := range failObs {
+		if oi < 0 || oi >= len(audit.BitSuper) ||
+			audit.BitSuper[oi] == "" || audit.ViolatingObs(oi) {
+			return nil, true
+		}
+		set[audit.BitSuper[oi]] = true
+	}
+	supers = make([]string, 0, len(set))
+	for s := range set {
+		supers = append(supers, s)
+	}
+	sort.Strings(supers)
+	return supers, false
+}
+
+// ChainFail reports whether any fault in the set sits on a scan cell
+// itself (an FF fault): the chain flush test catches these before any
+// pattern is applied, and scan cells are chipkill by construction — a die
+// whose chain does not shift is discarded without diagnosis.
+func ChainFail(faults []netlist.Fault) bool {
+	for _, f := range faults {
+		if f.Gate < 0 {
+			return true
+		}
+	}
+	return false
+}

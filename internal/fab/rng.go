@@ -1,0 +1,82 @@
+package fab
+
+import "math"
+
+// rng is the splitmix64 stream the netlist generator uses: platform-stable
+// and cheap, so die sampling is a pure function of (seed, die index) on
+// every architecture — the property checkpoint/resume and worker-count
+// determinism rest on.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mix64 is the splitmix finalizer, used to decorrelate per-die streams.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// dieRNG derives die i's private stream. The extra mix64 scatters the
+// starting states across the whole period, so consecutive dies do not
+// share overlapping subsequences.
+func dieRNG(seed int64, die int) *rng {
+	return &rng{s: mix64(uint64(seed) ^ mix64(uint64(die)+0x6a09e667f3bcc909))}
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform draw in [0, n). The modulo bias is below 1e-18
+// for the pool sizes involved — irrelevant next to Monte Carlo noise.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// exp returns an Exp(mean 1) draw.
+func (r *rng) exp() float64 { return -math.Log(1 - r.float64()) }
+
+// gamma draws Gamma(shape alpha, mean 1) for integral alpha — the ITRS
+// clustering mixture (alpha = 2) — as a normalized sum of exponentials.
+func (r *rng) gamma(alpha float64) float64 {
+	k := int(alpha)
+	if k < 1 || float64(k) != alpha {
+		panic("fab: gamma sampling supports integral alpha only")
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += r.exp()
+	}
+	return sum / alpha
+}
+
+// poisson draws Poisson(lam) by Knuth's product-of-uniforms, chunked so
+// the running product cannot underflow for large means.
+func (r *rng) poisson(lam float64) int {
+	k := 0
+	for lam > 30 {
+		k += r.poissonSmall(30)
+		lam -= 30
+	}
+	return k + r.poissonSmall(lam)
+}
+
+func (r *rng) poissonSmall(lam float64) int {
+	if lam <= 0 {
+		return 0
+	}
+	l := math.Exp(-lam)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

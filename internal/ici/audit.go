@@ -70,6 +70,19 @@ func Audit(n *netlist.Netlist, grouping Grouping) *AuditResult {
 // OK reports whether the audit found no violations.
 func (r *AuditResult) OK() bool { return len(r.Violations) == 0 }
 
+// ViolatingObs reports whether an observation point was flagged as an ICI
+// violation — its cone spans multiple super-components, so its BitSuper
+// entry is an arbitrary pick, not a diagnosis. Conservative flows treat a
+// failing violating bit as undiagnosable (chipkill) rather than trust it.
+func (r *AuditResult) ViolatingObs(oi int) bool {
+	for _, v := range r.Violations {
+		if v.Obs == oi {
+			return true
+		}
+	}
+	return false
+}
+
 // Isolate maps a set of failing observation points to the unique faulty
 // super-component, implementing the paper's single-lookup isolation. It
 // fails if the failing bits implicate more than one super-component (which

@@ -1,0 +1,107 @@
+package yield
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPoissonLimit pins the alpha→∞ limit: the negative-binomial yield
+// (1+λ/α)^(−α) must converge to the Poisson e^(−λ), and from below
+// (clustering always helps yield, so finite alpha is an upper bound).
+func TestPoissonLimit(t *testing.T) {
+	for _, lam := range []float64{0.01, 0.1, 1, 5, 20} {
+		want := PoissonClean(lam)
+		if got := NegBinomialYieldAlpha(lam, 1e8); math.Abs(got-want) > 1e-7 {
+			t.Errorf("lambda=%v: NB(alpha=1e8)=%.12f, Poisson=%.12f", lam, got, want)
+		}
+		prev := PoissonClean(lam) // limit; every finite alpha must exceed it
+		for _, alpha := range []float64{1e6, 1e4, 100, 10, 2, 1} {
+			nb := NegBinomialYieldAlpha(lam, alpha)
+			if nb < prev {
+				t.Errorf("lambda=%v: NB not monotone in alpha: NB(%v)=%.12f < %.12f", lam, alpha, nb, prev)
+			}
+			prev = nb
+		}
+	}
+}
+
+// TestZeroDensityYieldsOne pins the λ=0 edge exactly: a block with zero
+// mean fault count is clean with probability exactly 1 under every model
+// — not approximately, exactly, so downstream products stay bit-stable.
+func TestZeroDensityYieldsOne(t *testing.T) {
+	if y := NegBinomialYield(0); y != 1 {
+		t.Errorf("NegBinomialYield(0) = %v, want exactly 1", y)
+	}
+	for _, alpha := range []float64{0.5, 1, 2, 100} {
+		if y := NegBinomialYieldAlpha(0, alpha); y != 1 {
+			t.Errorf("NegBinomialYieldAlpha(0, %v) = %v, want exactly 1", alpha, y)
+		}
+	}
+	if y := PoissonClean(0); y != 1 {
+		t.Errorf("PoissonClean(0) = %v, want exactly 1", y)
+	}
+	if p := PairProb(0); p != [3]float64{1, 0, 0} {
+		t.Errorf("PairProb(0) = %v, want exactly {1,0,0}", p)
+	}
+}
+
+// TestMixGammaMatchesClosedForm cross-checks the Simpson quadrature
+// against the closed-form negative binomial (the mixture of PoissonClean
+// IS the negative binomial) across the usable alpha range and ten decades
+// of defect density. Tolerances were calibrated against the fixed-step
+// integrator: production alpha=2 holds to 1e-5 absolute everywhere;
+// alpha=1 keeps a constant pdf(0)·h/3 endpoint term (~5e-3) that only
+// matters once the true yield has decayed below it.
+func TestMixGammaMatchesClosedForm(t *testing.T) {
+	cases := []struct {
+		alpha, maxLambda, tol float64
+	}{
+		{1, 100, 5e-4},
+		{2, 1000, 1e-5},
+		{4, 1e5, 1e-5},
+		{10, 1e5, 1e-5},
+	}
+	for _, c := range cases {
+		for _, lam := range []float64{1e-9, 1e-4, 0.01, 1, 10, 100, 1000, 1e5} {
+			if lam > c.maxLambda {
+				continue
+			}
+			lam := lam
+			got := MixGammaAlpha(c.alpha, func(x float64) float64 { return PoissonClean(lam * x) })
+			want := NegBinomialYieldAlpha(lam, c.alpha)
+			if math.Abs(got-want) > c.tol {
+				t.Errorf("alpha=%v lambda=%v: mix=%.10f closed=%.10f (tol %v)",
+					c.alpha, lam, got, want, c.tol)
+			}
+		}
+	}
+}
+
+// TestMixGammaExtremeDensity pins the integrator's behavior where the
+// quadrature is stressed: the result must stay a probability, decrease
+// monotonically in λ, and saturate to ~0 (alpha=2 has pdf(0)=0, so the
+// x=0 endpoint contributes nothing and extreme densities decay cleanly).
+func TestMixGammaExtremeDensity(t *testing.T) {
+	prev := math.Inf(1)
+	for _, lam := range []float64{1e-9, 1e-6, 1e-3, 1, 1e3, 1e6, 1e9} {
+		lam := lam
+		y := MixGamma(func(x float64) float64 { return PoissonClean(lam * x) })
+		if y < 0 || y > 1+1e-8 {
+			t.Errorf("lambda=%v: mixture yield %v outside [0,1]", lam, y)
+		}
+		if y > prev+1e-12 {
+			t.Errorf("lambda=%v: mixture yield %v not monotone (prev %v)", lam, y, prev)
+		}
+		prev = y
+	}
+	if y := MixGamma(func(x float64) float64 { return PoissonClean(1e6 * x) }); y > 1e-6 {
+		t.Errorf("lambda=1e6: mixture yield %v did not saturate to 0", y)
+	}
+	// The mixing density itself integrates to 1 for alpha >= 1; the
+	// alpha < 1 singularity at x=0 is a documented integrator limitation.
+	for _, alpha := range []float64{1, 2, 10} {
+		if n := MixGammaAlpha(alpha, func(x float64) float64 { return 1 }); math.Abs(n-1) > 1e-8 {
+			t.Errorf("alpha=%v: gamma pdf integrates to %.12f, want 1", alpha, n)
+		}
+	}
+}

@@ -155,6 +155,36 @@ type CoreModel struct {
 	IPC  map[CoreConfig]float64
 }
 
+// ScaleToNode returns a copy of cm with every group area scaled to the
+// technology node under core growth g, so the per-mm² defect density
+// applies unchanged. ChipAlpha and the Monte Carlo fab engine share this,
+// which is what makes the empirical and analytic models see identical
+// areas.
+func ScaleToNode(cm CoreModel, node area.Scaling, growth float64) CoreModel {
+	scale := node.CoreArea(cm.Area.Total, growth) / cm.Area.Total
+	for g := area.Group(0); g < area.NumGroups; g++ {
+		cm.Area.PairArea[g] *= scale
+	}
+	cm.Area.Total *= scale
+	return cm
+}
+
+// YAT returns the expected IPC of one core at conditional fault density d
+// (faults/mm², no mixing) — EQ 2's integrand, exported so the empirical
+// Monte Carlo fleet can be compared against the same analytic curve.
+func (cm CoreModel) YAT(d float64) float64 { return cm.yatCore(d) }
+
+// Yield returns the probability that a core at conditional fault density d
+// is functional, possibly degraded: the chipkill region clean and no
+// redundant pair with both members down.
+func (cm CoreModel) Yield(d float64) float64 {
+	y := PoissonClean(d * cm.Area.SingleArea(area.Chipkill))
+	for _, g := range []area.Group{area.Frontend, area.IntIQ, area.FPIQ, area.LSQ, area.IntBE, area.FPBE} {
+		y *= 1 - PairProb(d*cm.Area.SingleArea(g))[BothDown]
+	}
+	return y
+}
+
 // yatCore returns the expected IPC of one Rescue core at fault density d
 // (faults/mm², conditional — no mixing here).
 func (cm CoreModel) yatCore(d float64) float64 {
@@ -207,10 +237,6 @@ func ChipAlpha(node, stagnate area.Scaling, growth float64, baseCore, rescueCore
 	d := Density(node, stagnate)
 	n := node.Cores(growth)
 	baseArea := node.CoreArea(baseCore.Area.Total, growth)
-	rescueArea := node.CoreArea(rescueCore.Area.Total, growth)
-	// density acts per mm²; scale group areas by the same node factor
-	scaleB := baseArea / baseCore.Area.Total
-	scaleR := rescueArea / rescueCore.Area.Total
 
 	res := ChipResult{Cores: n, Ideal: float64(n) * baseCore.Full}
 	res.NoRedundancy = MixGammaAlpha(alpha, func(x float64) float64 {
@@ -222,14 +248,9 @@ func ChipAlpha(node, stagnate area.Scaling, growth float64, baseCore, rescueCore
 		return float64(n) * csCore(baseCore.Full, lamCore)
 	})
 	// Rescue group areas scale with the node
-	cm := rescueCore
-	for g := area.Group(0); g < area.NumGroups; g++ {
-		cm.Area.PairArea[g] *= scaleR
-	}
-	cm.Area.Total *= scaleR
+	cm := ScaleToNode(rescueCore, node, growth)
 	res.Rescue = MixGammaAlpha(alpha, func(x float64) float64 {
 		return float64(n) * cm.yatCore(d*x)
 	})
-	_ = scaleB
 	return res
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Golden equivalence check for the parallel fault-simulation campaign
-# engine: regenerate the small-config Table 3 and isolation reports at two
-# different worker counts and diff them against the committed golden files.
+# engine: regenerate the small-config Table 3, isolation, and Monte Carlo
+# fab-fleet reports at two different worker counts and diff them against
+# the committed golden files.
 # Any drift — numeric or ordering — fails the build. Timings are suppressed
 # (-timing=false) so the outputs are byte-stable.
 #
@@ -25,6 +26,7 @@ trap 'rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/rescue-atpg" ./cmd/rescue-atpg
 go build -o "$tmp/rescue-isolate" ./cmd/rescue-isolate
+go build -o "$tmp/rescue-fab" ./cmd/rescue-fab
 
 fail=0
 for w in "${workers[@]}"; do
@@ -41,12 +43,22 @@ for w in "${workers[@]}"; do
         echo "FAIL: isolation_small.txt drifted at workers=$w" >&2
         fail=1
     fi
+
+    echo "== fab fleet (small), workers=$w"
+    "$tmp/rescue-fab" -small -dies 2000 -timing=false -workers "$w" > "$tmp/fab_small.txt"
+    if ! diff -u results/fab_small.txt "$tmp/fab_small.txt"; then
+        echo "FAIL: fab_small.txt drifted at workers=$w" >&2
+        fail=1
+    fi
 done
 
 # ~50% of each command's total campaign fault-sims on the small config
-# (rescue-atpg ≈ 134k across both variants; rescue-isolate ≈ 89k).
+# (rescue-atpg ≈ 134k across both variants; rescue-isolate ≈ 89k;
+# rescue-fab spends ≈ 86.7k sims in ATPG before its 1536-fault fleet
+# campaign, so 87.5k lands halfway through the fleet).
 atpg_kill=67000
 iso_kill=45000
+fab_kill=87500
 
 for pair in "1 4" "4 1"; do
     read -r kw rw <<< "$pair"
@@ -91,6 +103,28 @@ for pair in "1 4" "4 1"; do
             -checkpoint "$tmp/ck.iso" -resume > "$tmp/isolation_resumed.txt"
         if ! diff -u results/isolation_small.txt "$tmp/isolation_resumed.txt"; then
             echo "FAIL: resumed isolation_small.txt drifted (kill=$kw resume=$rw)" >&2
+            fail=1
+        fi
+    fi
+
+    echo "== fab interrupt-resume: kill at workers=$kw, resume at workers=$rw"
+    rm -f "$tmp/ck.fab"
+    rc=0
+    "$tmp/rescue-fab" -small -dies 2000 -timing=false -workers "$kw" \
+        -checkpoint "$tmp/ck.fab" -chaos-cancel-after "$fab_kill" \
+        > /dev/null 2> "$tmp/fab.err" || rc=$?
+    if [ "$rc" -ne 130 ]; then
+        echo "FAIL: chaos-interrupted rescue-fab exited $rc, want 130" >&2
+        cat "$tmp/fab.err" >&2
+        fail=1
+    elif [ ! -s "$tmp/ck.fab" ]; then
+        echo "FAIL: interrupted rescue-fab left no checkpoint journal" >&2
+        fail=1
+    else
+        "$tmp/rescue-fab" -small -dies 2000 -timing=false -workers "$rw" \
+            -checkpoint "$tmp/ck.fab" -resume > "$tmp/fab_resumed.txt"
+        if ! diff -u results/fab_small.txt "$tmp/fab_resumed.txt"; then
+            echo "FAIL: resumed fab_small.txt drifted (kill=$kw resume=$rw)" >&2
             fail=1
         fi
     fi
