@@ -8,97 +8,45 @@
 // The run is resilient: SIGINT/SIGTERM finish in-flight chunks, flush the
 // -checkpoint journal (if one was given), print the partial campaign
 // stats, and exit 130; rerunning with -resume rehydrates the journaled
-// work and converges bit-identically to an uninterrupted run.
+// work and converges bit-identically to an uninterrupted run. A -timeout
+// deadline exits 124 the same way.
 //
 // Usage:
 //
 //	rescue-atpg [-small] [-seed N] [-backtracks N] [-workers N] [-timing=false]
-//	            [-checkpoint path [-resume]] [-chaos-cancel-after N]
+//	            [-timeout D] [-progress] [-checkpoint path [-resume]]
+//	            [-chaos-cancel-after N]
 package main
 
 import (
 	"flag"
-	"fmt"
-	"time"
+	"os"
 
-	"rescue/internal/atpg"
 	"rescue/internal/cli"
-	"rescue/internal/core"
-	"rescue/internal/rtl"
+	"rescue/internal/flows"
 )
 
 func main() {
 	small := flag.Bool("small", false, "use the reduced test configuration (2-way)")
 	seed := flag.Int64("seed", 1, "ATPG random seed")
 	backtracks := flag.Int("backtracks", 500, "PODEM backtrack limit")
-	workers := flag.Int("workers", 0, "fault-simulation workers (0 = all cores)")
 	timing := flag.Bool("timing", true, "print wall-clock timings (disable for golden diffs)")
-	checkpoint := flag.String("checkpoint", "", "campaign checkpoint journal path (enables kill-and-resume)")
-	resume := flag.Bool("resume", false, "resume a previous run from the -checkpoint journal")
-	chaosAfter := flag.Int64("chaos-cancel-after", 0, "cancel after N campaign fault-sims (chaos testing; 0 = off)")
+	ff := cli.AddFlowFlags(flag.CommandLine)
 	flag.Parse()
-	cli.CheckWorkers(*workers)
-	cli.ArmChaos(*chaosAfter)
-	ck := cli.OpenCheckpoint(*checkpoint, *resume)
+	ff.Validate()
+	ck := ff.OpenCheckpoint()
 
-	ctx, stop := cli.SignalContext()
+	ctx, stop := ff.Context()
 	defer stop()
 
-	cfg := rtl.Default()
-	if *small {
-		cfg = rtl.Small()
-	}
-	gen := atpg.DefaultGenConfig()
-	gen.Seed = *seed
-	gen.MaxBacktracks = *backtracks
-	gen.Workers = *workers
-
-	fmt.Println("Table 3: Scan Chain data (paper: baseline 111294 faults / 2768 cells /")
-	fmt.Println("1911 vectors / 5272449 cycles; Rescue 113490 / 3334 / 1787 / 5959645;")
-	fmt.Println("Rescue = fewer vectors, ~13% more cycles). Our model is smaller but the")
-	fmt.Println("same shape must hold.")
-	fmt.Println()
-	if *timing {
-		fmt.Printf("%-10s %10s %10s %10s %12s %9s %10s\n",
-			"design", "faults", "cells", "vectors", "cycles", "coverage", "runtime")
-	} else {
-		fmt.Printf("%-10s %10s %10s %10s %12s %9s\n",
-			"design", "faults", "cells", "vectors", "cycles", "coverage")
-	}
-
-	var rows []core.ScanSummary
-	for _, v := range []rtl.Variant{rtl.Baseline, rtl.RescueDesign} {
-		start := time.Now()
-		s, err := core.Build(cfg, v)
-		if err != nil {
-			cli.Fatalf("build: %v", err)
-		}
-		tp, err := s.GenerateTestsFlow(ctx, gen, ck)
-		if err != nil {
-			cli.ExitFlow(err, tp.Gen.Stats, ck)
-		}
-		sum := s.Summary(tp)
-		rows = append(rows, sum)
-		if *timing {
-			fmt.Printf("%-10s %10d %10d %10d %12d %8.2f%% %10s\n",
-				sum.Variant, sum.Faults, sum.ScanCells, sum.Vectors, sum.Cycles,
-				sum.Coverage*100, time.Since(start).Round(time.Millisecond))
-			st := tp.Gen.Stats
-			fmt.Printf("           campaign: %d fault-sims, %d word-sims, %d dropped, %d gate events, %d workers\n",
-				st.Faults, st.Words, st.Dropped, st.Events, st.Workers)
-		} else {
-			fmt.Printf("%-10s %10d %10d %10d %12d %8.2f%%\n",
-				sum.Variant, sum.Faults, sum.ScanCells, sum.Vectors, sum.Cycles,
-				sum.Coverage*100)
-		}
-	}
-	if len(rows) == 2 {
-		fmt.Println()
-		fmt.Printf("Rescue vs baseline: cells %+.1f%%, vectors %+.1f%%, cycles %+.1f%%\n",
-			pct(rows[1].ScanCells, rows[0].ScanCells),
-			pct(rows[1].Vectors, rows[0].Vectors),
-			pct(rows[1].Cycles, rows[0].Cycles))
+	res, err := flows.Table3(ctx, os.Stdout, flows.Table3Opts{
+		Small:      *small,
+		Seed:       *seed,
+		Backtracks: *backtracks,
+		Workers:    ff.Workers,
+		Timing:     *timing,
+	}, flows.Env{Ck: ck})
+	if err != nil {
+		cli.ExitFlow(err, res.Stats, ck)
 	}
 }
-
-func pct(a, b int) float64 { return (float64(a)/float64(b) - 1) * 100 }

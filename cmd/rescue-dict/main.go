@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	rescue-dict build [-small] [-workers N] [-checkpoint path [-resume]]
+//	rescue-dict build [-small] [-workers N] [-timeout D] [-progress]
+//	                  [-checkpoint path [-resume]]
 //	                  [-chaos-cancel-after N] -o dict.csv
 //	rescue-dict diagnose [-small] -d dict.csv -bits 12,57,103
 //
@@ -16,7 +17,8 @@
 // SIGINT/SIGTERM finish in-flight chunks, flush the -checkpoint journal
 // (if one was given), print the partial campaign stats, and exit 130;
 // rerunning with -resume rehydrates the journaled work and converges
-// bit-identically to an uninterrupted build.
+// bit-identically to an uninterrupted build. A -timeout deadline exits 124
+// the same way.
 package main
 
 import (
@@ -26,13 +28,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
-	"rescue/internal/atpg"
 	"rescue/internal/cli"
-	"rescue/internal/core"
 	"rescue/internal/fault"
-	"rescue/internal/rtl"
+	"rescue/internal/flows"
 )
 
 func main() {
@@ -54,63 +53,64 @@ func usage() {
 	os.Exit(cli.ExitUsage)
 }
 
-func system(ctx context.Context, small bool, workers int, ck *fault.Checkpoint) (*core.System, *core.TestProgram) {
-	cfg := rtl.Default()
-	if small {
-		cfg = rtl.Small()
-	}
-	sys, err := core.Build(cfg, rtl.RescueDesign)
-	if err != nil {
-		cli.Fatalf("build: %v", err)
-	}
-	gen := atpg.DefaultGenConfig()
-	gen.Workers = workers
-	tp, err := sys.GenerateTestsFlow(ctx, gen, ck)
-	if err != nil {
-		cli.ExitFlow(err, tp.Gen.Stats, ck)
-	}
-	return sys, tp
-}
-
 func build(args []string) {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	small := fs.Bool("small", false, "use the reduced (2-way) configuration")
-	workers := fs.Int("workers", 0, "fault-simulation workers (0 = all cores)")
 	out := fs.String("o", "", "output CSV (required)")
-	checkpoint := fs.String("checkpoint", "", "campaign checkpoint journal path (enables kill-and-resume)")
-	resume := fs.Bool("resume", false, "resume a previous build from the -checkpoint journal")
-	chaosAfter := fs.Int64("chaos-cancel-after", 0, "cancel after N campaign fault-sims (chaos testing; 0 = off)")
+	ff := cli.AddFlowFlags(fs)
 	fs.Parse(args)
-	cli.CheckWorkers(*workers)
-	cli.ArmChaos(*chaosAfter)
+	ff.Validate()
 	if *out == "" {
 		cli.Usagef("build: -o required")
 	}
-	ck := cli.OpenCheckpoint(*checkpoint, *resume)
+	ck := ff.OpenCheckpoint()
 
-	ctx, stop := cli.SignalContext()
+	ctx, stop := ff.Context()
 	defer stop()
 
-	sys, tp := system(ctx, *small, *workers, ck)
-	fmt.Printf("building dictionary over %d collapsed faults, %d vectors...\n",
-		tp.Universe.CountCollapsed(), tp.Gen.Vectors)
-	d, st, err := fault.BuildDictionaryFlow(ctx, tp.Gen.Sim, tp.Universe, *workers, ck)
+	// The output file is created on first write, so an interrupted build
+	// leaves nothing behind (the flow only writes CSV after the campaign
+	// finishes).
+	lf := &lazyFile{path: *out}
+	defer lf.Close()
+	res, err := flows.DictBuild(ctx, os.Stdout, lf, flows.DictOpts{
+		Small:   *small,
+		Workers: ff.Workers,
+	}, flows.Env{Ck: ck})
 	if err != nil {
-		cli.ExitFlow(err, st, ck)
+		cli.ExitFlow(err, res.Stats, ck)
 	}
-	fmt.Printf("campaign: %d fault-sims, %d word-sims, %d gate events, %d workers, %s\n",
-		st.Faults, st.Words, st.Events, st.Workers, st.Wall.Round(time.Millisecond))
-	f, err := os.Create(*out)
-	if err != nil {
-		cli.Fatalf("%v", err)
-	}
-	defer f.Close()
-	if err := d.WriteCSV(f); err != nil {
+	if err := lf.Close(); err != nil {
 		cli.Fatalf("%v", err)
 	}
 	fmt.Printf("%d/%d faults detected; dictionary written to %s\n",
-		d.Detected(), tp.Universe.CountCollapsed(), *out)
-	_ = sys
+		res.Detected, res.Faults, *out)
+}
+
+// lazyFile defers os.Create until the first write.
+type lazyFile struct {
+	path string
+	f    *os.File
+}
+
+func (l *lazyFile) Write(p []byte) (int, error) {
+	if l.f == nil {
+		f, err := os.Create(l.path)
+		if err != nil {
+			return 0, err
+		}
+		l.f = f
+	}
+	return l.f.Write(p)
+}
+
+func (l *lazyFile) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
 }
 
 func diagnose(args []string) {
@@ -139,7 +139,13 @@ func diagnose(args []string) {
 		}
 		obs = append(obs, v)
 	}
-	sys, tp := system(context.Background(), *small, 0, nil)
+	sys, tp, err := flows.DictSystem(context.Background(), *small, 0, flows.Env{})
+	if err != nil {
+		if tp != nil {
+			cli.ExitFlow(err, tp.Gen.Stats, nil)
+		}
+		cli.Fatalf("%v", err)
+	}
 	if len(d.Syndromes) != tp.Universe.CountCollapsed() {
 		cli.Fatalf("dictionary has %d rows but the design has %d faults (wrong -small?)",
 			len(d.Syndromes), tp.Universe.CountCollapsed())

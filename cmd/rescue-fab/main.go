@@ -15,23 +15,16 @@
 //	rescue-fab [-dies N] [-node 90|65|32|18] [-stagnate 90|65]
 //	           [-growth 0.30] [-seed N] [-workers N] [-small]
 //	           [-bench list] [-warmup N] [-commit N]
-//	           [-selfheal-share F] [-timing=false] [-timeout D]
+//	           [-selfheal-share F] [-timing=false] [-timeout D] [-progress]
 //	           [-checkpoint path [-resume]] [-chaos-cancel-after N]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
-	"strings"
-	"time"
 
-	"rescue/internal/area"
-	"rescue/internal/atpg"
 	"rescue/internal/cli"
-	"rescue/internal/core"
-	"rescue/internal/fab"
-	"rescue/internal/rtl"
+	"rescue/internal/flows"
 )
 
 func main() {
@@ -40,98 +33,46 @@ func main() {
 	stagnate := flag.Int("stagnate", 90, "node (nm) at which PWP stops improving")
 	growth := flag.Float64("growth", 0.30, "core growth rate per technology halving")
 	seed := flag.Int64("seed", 2026, "fleet sampling seed")
-	workers := flag.Int("workers", 0, "fault-simulation workers (0 = all cores)")
 	small := flag.Bool("small", false, "use the reduced configuration (2-way)")
 	benches := flag.String("bench", "gzip", "comma-separated benchmarks for the IPC model (empty = all 23)")
 	warmup := flag.Int64("warmup", 2_000, "warmup instructions per IPC simulation")
 	commit := flag.Int64("commit", 10_000, "measured instructions per IPC simulation")
 	healShare := flag.Float64("selfheal-share", 0, "fraction of the chipkill bucket covered by self-healing arrays")
 	timing := flag.Bool("timing", true, "print wall-clock timings (disable for golden diffs)")
-	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); exceeded = exit 124")
-	checkpoint := flag.String("checkpoint", "", "campaign checkpoint journal path (enables kill-and-resume)")
-	resume := flag.Bool("resume", false, "resume a previous run from the -checkpoint journal")
-	chaosAfter := flag.Int64("chaos-cancel-after", 0, "cancel after N campaign fault-sims (chaos testing; 0 = off)")
+	ff := cli.AddFlowFlags(flag.CommandLine)
 	flag.Parse()
-	cli.CheckWorkers(*workers)
-	cli.CheckTimeout(*timeout)
-	cli.ArmChaos(*chaosAfter)
+	ff.Validate()
 	if *dies < 1 {
 		cli.Usagef("-dies must be >= 1, got %d", *dies)
 	}
-	var node area.Scaling
-	found := false
-	for _, n := range area.Nodes() {
-		if n.NodeNM == *nodeNM {
-			node, found = n, true
-		}
-	}
-	if !found {
+	if _, ok := flows.ValidNode(*nodeNM); !ok {
 		cli.Usagef("-node must be one of 90, 65, 32, 18, got %d", *nodeNM)
 	}
 	if *growth < 0 {
 		cli.Usagef("-growth must be >= 0, got %v", *growth)
 	}
-	ck := cli.OpenCheckpoint(*checkpoint, *resume)
+	ck := ff.OpenCheckpoint()
 
-	ctx, stop := cli.FlowContext(*timeout)
+	ctx, stop := ff.Context()
 	defer stop()
 
-	cfg := rtl.Default()
-	if *small {
-		cfg = rtl.Small()
-	}
-	start := time.Now()
-	s, err := core.Build(cfg, rtl.RescueDesign)
-	if err != nil {
-		cli.Fatalf("build: %v", err)
-	}
-	if !s.Audit.OK() {
-		cli.Fatalf("ICI audit failed: %d violations", len(s.Audit.Violations))
-	}
-	fmt.Printf("built %s: %d gates, %d scan cells; ICI audit clean\n",
-		s.Design.N.Name, s.Design.N.NumGates(), s.Design.N.NumFFs())
-
-	gen := atpg.DefaultGenConfig()
-	gen.Workers = *workers
-	tp, err := s.GenerateTestsFlow(ctx, gen, ck)
-	if err != nil {
-		cli.ExitFlow(err, tp.Gen.Stats, ck)
-	}
-	fmt.Printf("ATPG: %d vectors, %.2f%% coverage\n", tp.Gen.Vectors, tp.Gen.Coverage*100)
-
-	var names []string
-	if *benches != "" {
-		names = strings.Split(*benches, ",")
-	}
-	pm, err := core.BuildPerfModelFlow(ctx, node, names, *warmup, *commit, *workers)
-	if err != nil {
-		cli.ExitErr(err)
-	}
-	rescArea := area.Rescue()
-	if *healShare > 0 {
-		rescArea = area.RescueSelfHeal(*healShare)
-	}
-	base, resc := fab.ModelsFromPerf(pm, area.BaselineWithScan(), rescArea)
-	if *timing {
-		fmt.Printf("degraded-IPC model: %d configurations x %d benchmarks (%s)\n",
-			len(resc.IPC), len(pm.Baseline), time.Since(start).Round(time.Millisecond))
-	} else {
-		fmt.Printf("degraded-IPC model: %d configurations x %d benchmarks\n",
-			len(resc.IPC), len(pm.Baseline))
-	}
-
-	eng, err := fab.New(s, tp, base, resc, fab.Config{
-		Dies: *dies, Node: node, Stagnate: area.Node(*stagnate),
-		Growth: *growth, Seed: *seed, Workers: *workers,
+	res, err := flows.Fab(ctx, os.Stdout, flows.FabOpts{
+		Dies:          *dies,
+		NodeNM:        *nodeNM,
+		StagnateNM:    *stagnate,
+		Growth:        *growth,
+		GrowthSet:     true,
+		Seed:          *seed,
+		Workers:       ff.Workers,
+		Small:         *small,
+		Bench:         *benches,
+		BenchSet:      true,
+		Warmup:        *warmup,
+		Commit:        *commit,
 		SelfHealShare: *healShare,
-	})
+		Timing:        *timing,
+	}, flows.Env{Ck: ck})
 	if err != nil {
-		cli.Fatalf("%v", err)
+		cli.ExitFlow(err, res.Stats, ck)
 	}
-	rep, err := eng.Run(ctx, ck)
-	if err != nil {
-		cli.ExitFlow(err, rep.Stats, ck)
-	}
-	fmt.Println()
-	rep.WriteText(os.Stdout, *timing)
 }

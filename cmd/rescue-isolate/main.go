@@ -9,25 +9,22 @@
 // The run is resilient: SIGINT/SIGTERM finish in-flight chunks, flush the
 // -checkpoint journal (if one was given), print the partial campaign
 // stats, and exit 130; rerunning with -resume rehydrates the journaled
-// work and converges bit-identically to an uninterrupted run.
+// work and converges bit-identically to an uninterrupted run. A -timeout
+// deadline exits 124 the same way.
 //
 // Usage:
 //
 //	rescue-isolate [-small] [-per-stage N] [-seed N] [-multi] [-workers N]
-//	               [-timing=false] [-checkpoint path [-resume]]
-//	               [-chaos-cancel-after N]
+//	               [-timing=false] [-timeout D] [-progress]
+//	               [-checkpoint path [-resume]] [-chaos-cancel-after N]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
-	"time"
 
-	"rescue/internal/atpg"
 	"rescue/internal/cli"
-	"rescue/internal/core"
-	"rescue/internal/rtl"
+	"rescue/internal/flows"
 )
 
 func main() {
@@ -35,77 +32,27 @@ func main() {
 	perStage := flag.Int("per-stage", 1000, "faults to sample per stage (paper: 1000)")
 	seed := flag.Int64("seed", 2005, "sampling seed")
 	multi := flag.Bool("multi", false, "also run the multi-fault isolation corollary")
-	workers := flag.Int("workers", 0, "fault-simulation workers (0 = all cores)")
 	timing := flag.Bool("timing", true, "print wall-clock timings (disable for golden diffs)")
-	checkpoint := flag.String("checkpoint", "", "campaign checkpoint journal path (enables kill-and-resume)")
-	resume := flag.Bool("resume", false, "resume a previous run from the -checkpoint journal")
-	chaosAfter := flag.Int64("chaos-cancel-after", 0, "cancel after N campaign fault-sims (chaos testing; 0 = off)")
+	ff := cli.AddFlowFlags(flag.CommandLine)
 	flag.Parse()
-	cli.CheckWorkers(*workers)
-	cli.ArmChaos(*chaosAfter)
-	ck := cli.OpenCheckpoint(*checkpoint, *resume)
+	ff.Validate()
+	ck := ff.OpenCheckpoint()
 
-	ctx, stop := cli.SignalContext()
+	ctx, stop := ff.Context()
 	defer stop()
 
-	cfg := rtl.Default()
-	if *small {
-		cfg = rtl.Small()
-	}
-	start := time.Now()
-	s, err := core.Build(cfg, rtl.RescueDesign)
+	res, err := flows.Isolation(ctx, os.Stdout, flows.IsolationOpts{
+		Small:    *small,
+		PerStage: *perStage,
+		Seed:     *seed,
+		Multi:    *multi,
+		Workers:  ff.Workers,
+		Timing:   *timing,
+	}, flows.Env{Ck: ck})
 	if err != nil {
-		cli.Fatalf("build: %v", err)
+		cli.ExitFlow(err, res.Stats, ck)
 	}
-	if !s.Audit.OK() {
-		cli.Fatalf("ICI audit failed: %d violations", len(s.Audit.Violations))
-	}
-	fmt.Printf("built %s: %d gates, %d scan cells; ICI audit clean\n",
-		s.Design.N.Name, s.Design.N.NumGates(), s.Design.N.NumFFs())
-
-	gen := atpg.DefaultGenConfig()
-	gen.Workers = *workers
-	tp, err := s.GenerateTestsFlow(ctx, gen, ck)
-	if err != nil {
-		cli.ExitFlow(err, tp.Gen.Stats, ck)
-	}
-	if *timing {
-		fmt.Printf("ATPG: %d vectors, %.2f%% coverage (%s)\n",
-			tp.Gen.Vectors, tp.Gen.Coverage*100, time.Since(start).Round(time.Millisecond))
-	} else {
-		fmt.Printf("ATPG: %d vectors, %.2f%% coverage\n", tp.Gen.Vectors, tp.Gen.Coverage*100)
-	}
-
-	rep, err := s.IsolateCampaignFlow(ctx, tp, *perStage, core.Stages(), *seed, *workers, ck)
-	if err != nil {
-		cli.ExitFlow(err, rep.Stats, ck)
-	}
-	fmt.Println()
-	fmt.Printf("%-10s %9s %9s %7s %10s\n", "stage", "sampled", "isolated", "wrong", "ambiguous")
-	for _, st := range core.Stages() {
-		r := rep.PerStage[st]
-		fmt.Printf("%-10s %9d %9d %7d %10d\n", st, r.Sampled, r.Isolated, r.Wrong, r.Ambiguous)
-	}
-	total := rep.Isolated + rep.Wrong + rep.Ambiguous
-	fmt.Println()
-	fmt.Printf("TOTAL: %d faults simulated, %d isolated correctly, %d wrong, %d ambiguous\n",
-		total, rep.Isolated, rep.Wrong, rep.Ambiguous)
-	fmt.Printf("(paper: 6000/6000 isolated; %d undetectable faults were resampled)\n", rep.Undetected)
-	if *timing {
-		fmt.Printf("campaign: %d faults, %d word-sims, %d gate events, %d workers, %s\n",
-			rep.Stats.Faults, rep.Stats.Words, rep.Stats.Events, rep.Stats.Workers,
-			rep.Stats.Wall.Round(time.Millisecond))
-	}
-
-	if *multi {
-		ok, trials, err := s.MultiFaultIsolationFlow(ctx, tp, 200, 3, *seed, *workers, ck)
-		if err != nil {
-			cli.ExitFlow(err, rep.Stats, ck)
-		}
-		fmt.Printf("multi-fault corollary: %d/%d trials — all simultaneous faults in\n", ok, trials)
-		fmt.Println("distinct super-components isolated by one pattern set")
-	}
-	if rep.Wrong+rep.Ambiguous > 0 {
+	if res.Bad > 0 {
 		os.Exit(cli.ExitRuntime)
 	}
 }

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	rescue-sim [-params] [-bench name,name,...] [-warmup N] [-commit N]
-//	           [-workers N] [-timeout D] [-degraded fe,ib,fb,iqi,iqf,lsq]
+//	           [-workers N] [-timeout D] [-progress]
+//	           [-degraded fe,ib,fb,iqi,iqf,lsq]
 //
 // SIGINT/SIGTERM stop the study between simulations and exit 130; a
 // -timeout deadline exits 124.
@@ -30,19 +31,17 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 23)")
 	warmup := flag.Int64("warmup", 100_000, "warmup instructions")
 	commit := flag.Int64("commit", 1_000_000, "measured instructions")
-	workers := flag.Int("workers", 0, "simulation workers (0 = all cores)")
-	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); exceeded = exit 124")
 	degraded := flag.String("degraded", "", "degraded config counts: fe,ib,fb,iqi,iqf,lsq")
+	ff := cli.AddStudyFlags(flag.CommandLine)
 	flag.Parse()
-	cli.CheckWorkers(*workers)
-	cli.CheckTimeout(*timeout)
+	ff.Validate()
 
 	if *params {
 		printParams()
 		return
 	}
 
-	ctx, stop := cli.FlowContext(*timeout)
+	ctx, stop := ff.Context()
 	defer stop()
 
 	var names []string
@@ -60,7 +59,7 @@ func main() {
 		return
 	}
 
-	rows, err := core.IPCStudyFlow(ctx, names, *warmup, *commit, *workers)
+	rows, err := core.IPCStudyFlow(ctx, names, *warmup, *commit, ff.Workers)
 	if err != nil {
 		cli.ExitErr(err)
 	}

@@ -7,7 +7,7 @@
 //
 //	rescue-yat -areas
 //	rescue-yat [-stagnate 90|65] [-bench list] [-warmup N] [-commit N]
-//	           [-workers N] [-timeout D]
+//	           [-workers N] [-timeout D] [-progress] [-timing=false]
 //
 // SIGINT/SIGTERM stop the study between simulations and exit 130; a
 // -timeout deadline exits 124.
@@ -16,12 +16,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"strings"
-	"time"
+	"os"
 
 	"rescue/internal/area"
 	"rescue/internal/cli"
-	"rescue/internal/core"
+	"rescue/internal/flows"
 )
 
 func main() {
@@ -30,59 +29,30 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 23)")
 	warmup := flag.Int64("warmup", 20_000, "warmup instructions per simulation")
 	commit := flag.Int64("commit", 150_000, "measured instructions per simulation")
-	workers := flag.Int("workers", 0, "simulation workers (0 = all cores)")
-	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none); exceeded = exit 124")
+	timing := flag.Bool("timing", true, "print wall-clock timings (disable for golden diffs)")
+	ff := cli.AddStudyFlags(flag.CommandLine)
 	flag.Parse()
-	cli.CheckWorkers(*workers)
-	cli.CheckTimeout(*timeout)
+	ff.Validate()
 
 	if *areas {
 		printAreas()
 		return
 	}
 
-	ctx, stop := cli.FlowContext(*timeout)
+	ctx, stop := ff.Context()
 	defer stop()
 
-	var names []string
-	if *benches != "" {
-		names = strings.Split(*benches, ",")
-	}
-
-	fmt.Printf("Figure 9%s: YAT with PWP stagnating at %dnm\n", panel(*stagnate), *stagnate)
-	fmt.Println("(building per-node degraded-IPC models: 65 simulations per benchmark per node)")
-	models := map[int]*core.PerfModel{}
-	for _, node := range area.Nodes() {
-		start := time.Now()
-		pm, err := core.BuildPerfModelFlow(ctx, node, names, *warmup, *commit, *workers)
-		if err != nil {
-			cli.ExitErr(err)
-		}
-		models[node.NodeNM] = pm
-		fmt.Printf("  %dnm model built (%s)\n", node.NodeNM, time.Since(start).Round(time.Second))
-	}
-
-	rows, err := core.YATStudy(area.Node(*stagnate), models)
+	_, err := flows.YAT(ctx, os.Stdout, flows.YATOpts{
+		StagnateNM: *stagnate,
+		Bench:      *benches,
+		Warmup:     *warmup,
+		Commit:     *commit,
+		Workers:    ff.Workers,
+		Timing:     *timing,
+	}, flows.Env{})
 	if err != nil {
 		cli.ExitErr(err)
 	}
-	fmt.Println()
-	fmt.Printf("%5s %7s %6s %8s %8s %8s %12s\n",
-		"node", "growth", "cores", "none", "+CS", "+Rescue", "Rescue/CS")
-	for _, r := range rows {
-		fmt.Printf("%4dnm %6.0f%% %6d %8.3f %8.3f %8.3f %+11.1f%%\n",
-			r.NodeNM, r.Growth*100, r.Cores, r.RelNone, r.RelCS, r.RelRescue, r.RescueOverCSPct)
-	}
-	fmt.Println()
-	fmt.Println("relative YAT = chip YAT / (cores x fault-free IPC), averaged over benchmarks")
-	fmt.Println("paper headline (stagnate 90nm, 30% growth): +12% at 32nm, +22% at 18nm")
-}
-
-func panel(stagnate int) string {
-	if stagnate == 90 {
-		return "a"
-	}
-	return "b"
 }
 
 func printAreas() {

@@ -1,0 +1,103 @@
+// Command rescued serves the repo's flows as HTTP batch jobs: ATPG
+// (Table 3), fault-dictionary builds, isolation campaigns, YAT studies,
+// and Monte Carlo fab fleets, over a bounded queue with live NDJSON event
+// streams, per-job cancellation, /metrics, and /debug/pprof.
+//
+// Jobs render through the same internal/flows runners the CLIs use,
+// against a shared content-addressed artifact cache — a repeated
+// submission reuses the built netlists, test sets, and IPC tables, and its
+// report is byte-identical to the cold run and to the CLI's output.
+//
+// SIGINT/SIGTERM drain gracefully: running campaigns finish in-flight
+// chunks and flush their checkpoint journals (with -checkpoint-dir), so
+// resubmitting the same job to the next rescued resumes where it left off;
+// the process then exits 0.
+//
+// Usage:
+//
+//	rescued [-addr host:port] [-queue N] [-slots N] [-workers N]
+//	        [-checkpoint-dir dir] [-drain-timeout D] [-quiet]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"rescue/internal/cli"
+	"rescue/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
+	queueCap := flag.Int("queue", 64, "queued-job capacity; submissions beyond it get 429")
+	slots := flag.Int("slots", 1, "jobs running concurrently (flows parallelize internally)")
+	workers := flag.Int("workers", 0, "default campaign workers per job (0 = all cores)")
+	ckDir := flag.String("checkpoint-dir", "", "directory for per-job campaign checkpoint journals (empty = off)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for running jobs on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	flag.Parse()
+	cli.CheckWorkers(*workers)
+	if *queueCap < 1 {
+		cli.Usagef("-queue must be >= 1, got %d", *queueCap)
+	}
+	if *slots < 1 {
+		cli.Usagef("-slots must be >= 1, got %d", *slots)
+	}
+	if *drainTimeout <= 0 {
+		cli.Usagef("-drain-timeout must be > 0, got %v", *drainTimeout)
+	}
+	if *ckDir != "" {
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			cli.Fatalf("checkpoint-dir: %v", err)
+		}
+	}
+
+	logf := log.New(os.Stderr, "rescued: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	srv := serve.New(serve.Config{
+		QueueCap:      *queueCap,
+		Slots:         *slots,
+		Workers:       *workers,
+		CheckpointDir: *ckDir,
+		Logf:          logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fatalf("listen: %v", err)
+	}
+	// The resolved address on stdout is the contract scripts use with
+	// -addr 127.0.0.1:0 to avoid port races.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		cli.Fatalf("serve: %v", err)
+	}
+
+	// Graceful drain: stop accepting, cancel running jobs (their campaigns
+	// flush checkpoint journals), then close the listener and exit 0.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		hs.Close()
+		cli.Fatalf("drain: %v", err)
+	}
+	hs.Shutdown(dctx)
+	fmt.Println("drained; exiting")
+}

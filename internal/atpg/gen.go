@@ -7,6 +7,7 @@ import (
 
 	"rescue/internal/fault"
 	"rescue/internal/netlist"
+	"rescue/internal/obs"
 	"rescue/internal/scan"
 )
 
@@ -72,6 +73,7 @@ func Generate(c *scan.Chain, u *fault.Universe, cfg GenConfig) *GenResult {
 // one. On cancellation the partial GenResult (with its campaign Stats so
 // far) is returned alongside the error.
 func GenerateFlow(ctx context.Context, c *scan.Chain, u *fault.Universe, cfg GenConfig, ck *fault.Checkpoint) (*GenResult, error) {
+	defer obs.Span(ctx, "atpg_generate")()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sim := fault.NewSim(c, nil)
 	n := c.N

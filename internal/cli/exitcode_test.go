@@ -59,6 +59,27 @@ func TestExitCodes(t *testing.T) {
 		{"diffcheck stray positional args", "rescue-diffcheck", []string{"-seeds", "0:2", "extra"}, 2, "usage error"},
 		{"diffcheck unknown flag", "rescue-diffcheck", []string{"-no-such-flag"}, 2, ""},
 		{"diffcheck small passing range", "rescue-diffcheck", []string{"-seeds", "0:2", "-workers", "1,2"}, 0, ""},
+		{"atpg negative timeout", "rescue-atpg", []string{"-timeout=-1s"}, 2, "usage error"},
+		{"dict negative timeout", "rescue-dict", []string{"build", "-timeout=-1s", "-o", "x.csv"}, 2, "usage error"},
+		{"isolate negative timeout", "rescue-isolate", []string{"-timeout=-1s"}, 2, "usage error"},
+	}
+	runCases(t, bins, cases)
+}
+
+// TestServeExitCodes pins the daemon's flag validation: rescued must fail
+// fast with a usage error before binding a socket.
+func TestServeExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t, "rescued")
+
+	cases := []exitCase{
+		{"rescued negative workers", "rescued", []string{"-workers=-1"}, 2, "usage error"},
+		{"rescued zero queue", "rescued", []string{"-queue=0"}, 2, "usage error"},
+		{"rescued zero slots", "rescued", []string{"-slots=0"}, 2, "usage error"},
+		{"rescued zero drain timeout", "rescued", []string{"-drain-timeout=0s"}, 2, "usage error"},
+		{"rescued unknown flag", "rescued", []string{"-no-such-flag"}, 2, ""},
 	}
 	runCases(t, bins, cases)
 }

@@ -8,6 +8,7 @@ import (
 
 	"rescue/internal/fault"
 	"rescue/internal/netlist"
+	"rescue/internal/obs"
 )
 
 // IsolationReport is the outcome of the Section 6.1 campaign: randomly
@@ -63,6 +64,7 @@ func (s *System) IsolateCampaign(tp *TestProgram, perStage int, stages []string,
 // at any worker count. On interrupt the partial report — carrying the
 // campaign Stats so far — is returned alongside the error.
 func (s *System) IsolateCampaignFlow(ctx context.Context, tp *TestProgram, perStage int, stages []string, seed int64, workers int, ck *fault.Checkpoint) (IsolationReport, error) {
+	defer obs.Span(ctx, "isolate_campaign")()
 	rng := rand.New(rand.NewSource(seed))
 	n := s.Design.N
 	rep := IsolationReport{PerStage: map[string]StageIsolation{}}
@@ -172,6 +174,7 @@ func (s *System) MultiFaultIsolation(tp *TestProgram, trials, nFaults int, seed 
 // deduplicated campaign resumes at chunk granularity after a kill and the
 // trial outcomes are bit-identical to an uninterrupted run.
 func (s *System) MultiFaultIsolationFlow(ctx context.Context, tp *TestProgram, trials, nFaults int, seed int64, workers int, ck *fault.Checkpoint) (ok, total int, err error) {
+	defer obs.Span(ctx, "isolate_multi")()
 	rng := rand.New(rand.NewSource(seed))
 	n := s.Design.N
 	var cands []netlist.Fault

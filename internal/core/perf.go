@@ -6,8 +6,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rescue/internal/area"
+	"rescue/internal/fault"
+	"rescue/internal/obs"
 	"rescue/internal/uarch"
 	"rescue/internal/workload"
 	"rescue/internal/yield"
@@ -111,12 +114,15 @@ func IPCStudyWorkers(benchNames []string, warmup, commit int64, workers int) ([]
 // is done no new benchmark simulations start and the context's cause is
 // returned (the partial rows alongside it).
 func IPCStudyFlow(ctx context.Context, benchNames []string, warmup, commit int64, workers int) ([]IPCRow, error) {
+	defer obs.Span(ctx, "ipc_study")()
 	profs, err := resolve(benchNames)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]IPCRow, len(profs))
 	errs := make([]error, len(profs))
+	progress := fault.ProgressFromContext(ctx)
+	var done atomic.Int64
 	cerr := parallelMapCtx(ctx, len(profs), workers, func(i int) {
 		base, err1 := runIPC(uarch.DefaultParams(), profs[i], warmup, commit)
 		resc, err2 := runIPC(uarch.RescueParams(), profs[i], warmup, commit)
@@ -132,6 +138,9 @@ func IPCStudyFlow(ctx context.Context, benchNames []string, warmup, commit int64
 		}
 		if base > 0 {
 			rows[i].DegradationPct = (1 - resc/base) * 100
+		}
+		if progress != nil {
+			progress(done.Add(1), int64(len(profs)))
 		}
 	})
 	if cerr != nil {
@@ -192,6 +201,7 @@ func BuildPerfModel(node area.Scaling, benchNames []string, warmup, commit int64
 // an explicit simulation concurrency degree (<= 0 = all cores). Once ctx
 // is done no new simulations start and the context's cause is returned.
 func BuildPerfModelFlow(ctx context.Context, node area.Scaling, benchNames []string, warmup, commit int64, workers int) (*PerfModel, error) {
+	defer obs.Span(ctx, "perf_model")()
 	profs, err := resolve(benchNames)
 	if err != nil {
 		return nil, err
@@ -216,6 +226,8 @@ func BuildPerfModelFlow(ctx context.Context, node area.Scaling, benchNames []str
 	}
 	results := make([]float64, len(jobs))
 	errs := make([]error, len(jobs))
+	progress := fault.ProgressFromContext(ctx)
+	var done atomic.Int64
 	cerr := parallelMapCtx(ctx, len(jobs), workers, func(i int) {
 		j := jobs[i]
 		var p uarch.Params
@@ -226,6 +238,9 @@ func BuildPerfModelFlow(ctx context.Context, node area.Scaling, benchNames []str
 			p.Degr = toDegraded(cfgs[j.cfg])
 		}
 		results[i], errs[i] = runIPC(p, profs[j.bench], warmup, commit)
+		if progress != nil {
+			progress(done.Add(1), int64(len(jobs)))
+		}
 	})
 	if cerr != nil {
 		return nil, cerr

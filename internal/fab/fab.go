@@ -44,6 +44,7 @@ import (
 	"rescue/internal/core"
 	"rescue/internal/fault"
 	"rescue/internal/netlist"
+	"rescue/internal/obs"
 	"rescue/internal/selfheal"
 	"rescue/internal/yield"
 )
@@ -325,6 +326,7 @@ type FleetReport struct {
 // stats so far) is returned alongside the error; rerunning with the same
 // configuration and the journal resumes bit-identically.
 func (e *Engine) Run(ctx context.Context, ck *fault.Checkpoint) (*FleetReport, error) {
+	defer obs.Span(ctx, "fab_lifecycle")()
 	rep := &FleetReport{
 		Dies: e.cfg.Dies, Cores: e.cores,
 		NodeNM: e.cfg.Node.NodeNM, StagnateNM: e.cfg.Stagnate.NodeNM,

@@ -117,6 +117,11 @@ type CampaignConfig struct {
 	Drop bool
 	// Chunk is the dispatch batch size; <= 0 picks one from the fault count.
 	Chunk int
+	// Progress, when non-nil, is called once per completed chunk with the
+	// cumulative (done, total) fault counts — see ProgressFunc. It combines
+	// with any hook installed via WithProgress on the run's context. Unset
+	// on both paths, the hot loop pays only a nil check.
+	Progress ProgressFunc
 }
 
 // Campaign shards a fault list across workers that share one read-only
@@ -196,6 +201,10 @@ func (c *Campaign) run(ctx context.Context, ck *Checkpoint, faults []netlist.Fau
 	var st Stats
 	st.Workers = workers
 
+	progress := combineProgress(c.cfg.Progress, ProgressFromContext(ctx))
+	total := int64(len(faults))
+	var progressDone atomic.Int64
+
 	// Bind the next journal section and rehydrate completed chunks.
 	var sec *ckSection
 	var done []bool
@@ -206,6 +215,10 @@ func (c *Campaign) run(ctx context.Context, ck *Checkpoint, faults []netlist.Fau
 			return nil, st, err
 		}
 		done, st.Rehydrated = sec.restore(out)
+		if progress != nil && st.Rehydrated > 0 {
+			progressDone.Store(st.Rehydrated)
+			progress(st.Rehydrated, total)
+		}
 		if st.Rehydrated == int64(len(faults)) {
 			// Everything was journaled; nothing to simulate.
 			st.Wall = time.Since(start)
@@ -277,10 +290,12 @@ func (c *Campaign) run(ctx context.Context, ck *Checkpoint, faults []netlist.Fau
 				if !ok {
 					break
 				}
+				fresh := 0
 				for i := lo; i < hi; i++ {
 					if done != nil && done[i] {
 						continue
 					}
+					fresh++
 					cur = i
 					if campaignSimHook != nil {
 						campaignSimHook(i)
@@ -299,6 +314,9 @@ func (c *Campaign) run(ctx context.Context, ck *Checkpoint, faults []netlist.Fau
 				cur = -1
 				if sec != nil {
 					sec.record(lo, hi, out, done)
+				}
+				if progress != nil && fresh > 0 {
+					progress(progressDone.Add(int64(fresh)), total)
 				}
 			}
 			wst.Words = scr.words - words0

@@ -182,10 +182,23 @@ type Checkpoint struct {
 	path     string
 	sections []*ckSection
 	cursor   int
+	flexible bool
 }
 
 // Path returns the journal's on-disk location.
 func (ck *Checkpoint) Path() string { return ck.path }
+
+// ContentAddressed switches the journal from strict positional section
+// matching to matching by content identity. Strict mode (the CLI default)
+// refuses a resume whose next campaign differs from the journaled one —
+// the right guard when the journal path is user-chosen and could belong to
+// a run with different flags. Content-addressed mode is for callers that
+// already bind the journal path to the run's full identity (rescued names
+// journals by the job-spec digest): there a divergent section order is not
+// user error but a cache effect — a run whose early campaigns were served
+// from a warm artifact store journals only its later ones, and the cold
+// re-run must still find them.
+func (ck *Checkpoint) ContentAddressed() { ck.flexible = true }
 
 // NewCheckpoint starts a fresh journal at path. Nothing is written until
 // the first Flush.
@@ -308,13 +321,33 @@ func (ck *Checkpoint) section(id ckIdentity) (*ckSection, error) {
 	defer ck.mu.Unlock()
 	if ck.cursor < len(ck.sections) {
 		s := ck.sections[ck.cursor]
-		if s.id != id {
+		if s.id == id {
+			ck.cursor++
+			return s, nil
+		}
+		if !ck.flexible {
 			return nil, fmt.Errorf("fault: checkpoint %s section %d was journaled by a different run "+
 				"(journal %+v, this run %+v) — same seed, design, and flags are required to resume",
 				ck.path, ck.cursor, s.id, id)
 		}
+		// Content-addressed: claim the matching journaled section wherever
+		// it is, preserving the relative order of the ones skipped over.
+		for i := ck.cursor + 1; i < len(ck.sections); i++ {
+			if ck.sections[i].id == id {
+				match := ck.sections[i]
+				copy(ck.sections[ck.cursor+1:i+1], ck.sections[ck.cursor:i])
+				ck.sections[ck.cursor] = match
+				ck.cursor++
+				return match, nil
+			}
+		}
+		// Not journaled at all: a fresh section, inserted at the cursor.
+		fresh := &ckSection{id: id}
+		ck.sections = append(ck.sections, nil)
+		copy(ck.sections[ck.cursor+1:], ck.sections[ck.cursor:])
+		ck.sections[ck.cursor] = fresh
 		ck.cursor++
-		return s, nil
+		return fresh, nil
 	}
 	s := &ckSection{id: id}
 	ck.sections = append(ck.sections, s)

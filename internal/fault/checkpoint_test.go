@@ -101,6 +101,47 @@ func TestCheckpointIdentityMismatch(t *testing.T) {
 	}
 }
 
+// TestCheckpointContentAddressed: in content-addressed mode a journaled
+// section is found by identity even when the resuming flow runs campaigns
+// the journal never saw — the shape a warm-artifact-cache drain leaves
+// behind: early campaigns were served from the cache and never journaled,
+// so the cold re-run reaches them first.
+func TestCheckpointContentAddressed(t *testing.T) {
+	path, sim, u := journalFor(t) // one section: faults[:200]
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.ContentAddressed()
+	camp := NewCampaign(sim, CampaignConfig{Workers: 2})
+	// A campaign the journal never saw comes first; strict matching would
+	// refuse it, content-addressed matching gives it a fresh section.
+	_, st, err := camp.RunCheckpoint(context.Background(), ck, u.Collapsed[200:260])
+	if err != nil {
+		t.Fatalf("unjournaled campaign failed: %v", err)
+	}
+	if st.Rehydrated != 0 {
+		t.Fatalf("fresh campaign rehydrated %d faults", st.Rehydrated)
+	}
+	// The journaled campaign still rehydrates fully despite its section no
+	// longer being at the cursor position.
+	_, st, err = camp.RunCheckpoint(context.Background(), ck, u.Collapsed[:200])
+	if err != nil {
+		t.Fatalf("journaled campaign failed: %v", err)
+	}
+	if st.Rehydrated != 200 {
+		t.Fatalf("journaled campaign rehydrated %d of 200", st.Rehydrated)
+	}
+	// The reordered journal reloads cleanly and both sections survive.
+	ck2, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck2.sections) != 2 {
+		t.Fatalf("flushed journal has %d sections, want 2", len(ck2.sections))
+	}
+}
+
 // TestCheckpointCorruption: tampered journals must be rejected on load —
 // a flipped results digest, a truncated body, and an empty file.
 func TestCheckpointCorruption(t *testing.T) {

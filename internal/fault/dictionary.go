@@ -7,6 +7,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"rescue/internal/obs"
 )
 
 // Dictionary is a precomputed fault dictionary: for every collapsed fault,
@@ -47,6 +49,7 @@ func BuildDictionaryWorkers(sim *Sim, u *Universe, workers int) (*Dictionary, St
 // rebuilt dictionary is bit-identical to an uninterrupted build at any
 // worker count. On error the partial campaign Stats are still returned.
 func BuildDictionaryFlow(ctx context.Context, sim *Sim, u *Universe, workers int, ck *Checkpoint) (*Dictionary, Stats, error) {
+	defer obs.Span(ctx, "dictionary")()
 	camp := NewCampaign(sim, CampaignConfig{Workers: workers})
 	results, st, err := camp.RunCheckpoint(ctx, ck, u.Collapsed)
 	if err != nil {

@@ -1,0 +1,235 @@
+// Package obs is the observability substrate the serving daemon and the
+// flow CLIs report into: a small metrics registry (counters, gauges,
+// histograms, and pull-style functions), a text /metrics endpoint,
+// net/http/pprof wiring, and span-style timing around campaign sections
+// carried through a context.
+//
+// The package is dependency-free by design — internal/atpg, internal/core,
+// and internal/fab instrument their flows with Span without knowing whether
+// anyone is listening; a nil tracer makes every call a no-op, so the CLIs
+// pay nothing unless a registry is attached to the context.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 metric (queue depth, running jobs).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates float64 observations as count/sum/min/max — enough
+// to read latency behavior off /metrics without bucket bookkeeping.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Snapshot returns the accumulated count, sum, min, and max.
+func (h *Histogram) Snapshot() (count int64, sum, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, h.min, h.max
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; metrics are created on first reference, so reporting
+// code never has to pre-declare what it emits.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string]func() float64{},
+	}
+}
+
+// SanitizeName maps an arbitrary metric name onto the conventional
+// [a-zA-Z0-9_] charset (dots, dashes, and spaces become underscores).
+func SanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	name = SanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	name = SanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	name = SanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterFunc exposes a pull-style gauge: f is called at scrape time.
+// Registering the same name again replaces the function.
+func (r *Registry) RegisterFunc(name string, f func() float64) {
+	name = SanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = f
+}
+
+// WriteText renders every metric in the text exposition format, sorted by
+// name so scrapes are diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	type row struct {
+		typ  string
+		name string
+		emit func(io.Writer) error
+	}
+	var rows []row
+	for name, c := range r.counters {
+		c := c
+		rows = append(rows, row{"counter", name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+			return err
+		}})
+	}
+	for name, g := range r.gauges {
+		g := g
+		rows = append(rows, row{"gauge", name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, g.Value())
+			return err
+		}})
+	}
+	for name, f := range r.funcs {
+		f := f
+		rows = append(rows, row{"gauge", name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(f()))
+			return err
+		}})
+	}
+	for name, h := range r.hists {
+		h := h
+		rows = append(rows, row{"summary", name, func(w io.Writer) error {
+			count, sum, min, max := h.Snapshot()
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", name, count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_min %s\n", name, formatFloat(min)); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_max %s\n", name, formatFloat(max))
+			return err
+		}})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, rw := range rows {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", rw.name, rw.typ); err != nil {
+			return err
+		}
+		if err := rw.emit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders metric values without scientific notation surprises.
+func formatFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return fmt.Sprintf("%g", v)
+}

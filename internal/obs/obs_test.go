@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if r.Counter("jobs_total") != c {
+		t.Fatal("Counter must return the same instance for the same name")
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	h := r.Histogram("latency_seconds")
+	for _, v := range []float64{3, 1, 2} {
+		h.Observe(v)
+	}
+	count, sum, min, max := h.Snapshot()
+	if count != 3 || sum != 6 || min != 1 || max != 3 {
+		t.Fatalf("histogram = (%d, %g, %g, %g), want (3, 6, 1, 3)", count, sum, min, max)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.Gauge("b_depth").Set(4)
+	r.Histogram("c_seconds").Observe(0.5)
+	r.RegisterFunc("d_ratio", func() float64 { return 0.25 })
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\na_total 1\n",
+		"# TYPE b_depth gauge\nb_depth 4\n",
+		"c_seconds_count 1\n",
+		"c_seconds_sum 0.5\n",
+		"d_ratio 0.25\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: a_total before b_depth before c_seconds before d_ratio.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_depth") ||
+		strings.Index(out, "b_depth") > strings.Index(out, "c_seconds") {
+		t.Errorf("WriteText output not sorted:\n%s", out)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	if got := SanitizeName("span.atpg-random seconds"); got != "span_atpg_random_seconds" {
+		t.Fatalf("SanitizeName = %q", got)
+	}
+}
+
+func TestSpanNoTracerIsNoop(t *testing.T) {
+	done := Span(context.Background(), "anything")
+	done() // must not panic
+}
+
+func TestSpanRecordsIntoTracer(t *testing.T) {
+	r := NewRegistry()
+	ctx := WithTracer(context.Background(), r)
+	done := Span(ctx, "atpg_random")
+	time.Sleep(time.Millisecond)
+	done()
+	if got := r.Counter("span_atpg_random_total").Value(); got != 1 {
+		t.Fatalf("span counter = %d, want 1", got)
+	}
+	count, sum, _, _ := r.Histogram("span_atpg_random_seconds").Snapshot()
+	if count != 1 || sum <= 0 {
+		t.Fatalf("span histogram = (%d, %g), want one positive sample", count, sum)
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(9)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hits_total 9") {
+		t.Fatalf("metrics body missing counter:\n%s", buf[:n])
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+type tracerKey struct{}
+
+// WithTracer attaches a metrics registry to ctx as the span sink: every
+// Span opened under this context records its duration into the registry's
+// "span_<name>_seconds" histogram (and bumps "span_<name>_total").
+func WithTracer(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, r)
+}
+
+// TracerFrom returns the registry attached by WithTracer, or nil.
+func TracerFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(tracerKey{}).(*Registry)
+	return r
+}
+
+// Span opens a named timing span and returns its closer. Without a tracer
+// on the context the call is free (nil check + no allocation on close), so
+// flow code can instrument campaign sections unconditionally:
+//
+//	defer obs.Span(ctx, "atpg_random")()
+func Span(ctx context.Context, name string) func() {
+	r := TracerFrom(ctx)
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		r.Counter("span_" + name + "_total").Inc()
+		r.Histogram("span_" + name + "_seconds").Observe(time.Since(start).Seconds())
+	}
+}

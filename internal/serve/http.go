@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"rescue/internal/obs"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs              submit {kind, params}; 202 + job snapshot
+//	GET    /jobs              list all jobs
+//	GET    /jobs/{id}         one job's snapshot
+//	GET    /jobs/{id}/result  the finished report (text/plain)
+//	GET    /jobs/{id}/events  NDJSON event stream: replay, then live until done
+//	DELETE /jobs/{id}         cancel a queued or running job
+//	GET    /metrics           obs text format
+//	GET    /healthz           200 ok / 503 draining
+//	/debug/pprof/...          net/http/pprof
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.Handle("/metrics", obs.Handler(s.reg))
+	mux.HandleFunc("/healthz", s.handleHealth)
+	obs.AttachPprof(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.List())
+	case http.MethodPost:
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad job spec: %v", err)
+			return
+		}
+		j, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDraining):
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, ErrUnknownKind):
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+		default:
+			writeJSON(w, http.StatusAccepted, j.snapshot())
+		}
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := s.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, j.snapshot())
+	case sub == "" && r.Method == http.MethodDelete:
+		s.Cancel(id)
+		writeJSON(w, http.StatusOK, j.snapshot())
+	case sub == "result" && r.Method == http.MethodGet:
+		s.handleResult(w, j)
+	case sub == "events" && r.Method == http.MethodGet:
+		s.handleEvents(w, r, j)
+	default:
+		writeErr(w, http.StatusNotFound, "no route /jobs/%s/%s", id, sub)
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, j *Job) {
+	out, state, errMsg := j.result()
+	if !state.Done() {
+		writeErr(w, http.StatusConflict, "job %s is %s; result not ready", j.ID, state)
+		return
+	}
+	if state != StateSucceeded {
+		writeErr(w, http.StatusConflict, "job %s %s: %s", j.ID, state, errMsg)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(out)
+}
+
+// handleEvents streams the job's event log as NDJSON: everything so far,
+// then live appends until the job reaches a terminal state or the client
+// goes away. Each line is one Event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	after := 0
+	for {
+		evs, state, changed := j.eventsSince(after)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		after += len(evs)
+		if len(evs) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if state.Done() {
+			// Drain any events appended between the snapshot and now.
+			if evs, _, _ := j.eventsSince(after); len(evs) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

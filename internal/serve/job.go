@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle state. Transitions are strictly forward:
+//
+//	queued → running → succeeded | failed | interrupted
+//	queued | running → canceled
+//
+// interrupted is the drain outcome: the job's campaigns flushed their
+// checkpoint journal and an identical resubmission resumes them.
+type State string
+
+const (
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateSucceeded   State = "succeeded"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
+	StateInterrupted State = "interrupted"
+)
+
+// Done reports whether the state is terminal.
+func (s State) Done() bool {
+	switch s {
+	case StateSucceeded, StateFailed, StateCanceled, StateInterrupted:
+		return true
+	}
+	return false
+}
+
+// Event is one entry of a job's event log, streamed over
+// GET /jobs/{id}/events as NDJSON. Seq is 1-based and dense.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	Type string    `json:"type"` // queued, started, progress, output, done
+	// Msg is human-readable detail (the error for a failed done event).
+	Msg string `json:"msg,omitempty"`
+	// Done/Total carry campaign progress for progress events.
+	Done  int64 `json:"done,omitempty"`
+	Total int64 `json:"total,omitempty"`
+	// State accompanies done events.
+	State State `json:"state,omitempty"`
+}
+
+// Spec is the client-submitted description of a job: a kind name and
+// kind-specific parameters. The pair is also the job's cache identity —
+// byte-identical specs share artifacts and checkpoint journals.
+type Spec struct {
+	Kind   string          `json:"kind"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Job is one submitted unit of work. All mutable fields are guarded by mu;
+// readers take snapshots. The changed channel is closed and replaced on
+// every mutation, so streamers can wait for news without polling.
+type Job struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+
+	mu      sync.Mutex
+	state   State
+	events  []Event
+	changed chan struct{}
+	output  []byte // the report, once finished
+	err     string // failure detail, once finished
+
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+
+	cancel func(error) // context cancellation with cause; set when scheduled
+}
+
+func newJob(id string, spec Spec) *Job {
+	j := &Job{
+		ID:       id,
+		Spec:     spec,
+		state:    StateQueued,
+		changed:  make(chan struct{}),
+		queuedAt: time.Now(),
+	}
+	j.append(Event{Type: "queued"})
+	return j
+}
+
+// append records an event and wakes streamers.
+func (j *Job) append(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendLocked(ev)
+}
+
+func (j *Job) appendLocked(ev Event) {
+	ev.Seq = len(j.events) + 1
+	ev.Time = time.Now()
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// setState moves the job forward and records the transition event. Terminal
+// states are sticky: a late transition (e.g. the runner finishing after a
+// cancel) is dropped, and the first terminal state wins.
+func (j *Job) setState(s State, msg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Done() {
+		return false
+	}
+	j.state = s
+	switch s {
+	case StateRunning:
+		j.startedAt = time.Now()
+		j.appendLocked(Event{Type: "started"})
+	default:
+		j.finishedAt = time.Now()
+		j.err = msg
+		j.appendLocked(Event{Type: "done", State: s, Msg: msg})
+	}
+	return true
+}
+
+// finishOutput stores the completed report. Called before the terminal
+// setState so a done event implies the output is readable.
+func (j *Job) finishOutput(out []byte) {
+	j.mu.Lock()
+	j.output = out
+	j.mu.Unlock()
+}
+
+// Snapshot is the wire representation of a job's status.
+type Snapshot struct {
+	ID         string     `json:"id"`
+	Kind       string     `json:"kind"`
+	State      State      `json:"state"`
+	Events     int        `json:"events"`
+	Error      string     `json:"error,omitempty"`
+	QueuedAt   time.Time  `json:"queuedAt"`
+	StartedAt  *time.Time `json:"startedAt,omitempty"`
+	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+}
+
+// snapshot returns the job's current wire status.
+func (j *Job) snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sn := Snapshot{
+		ID:       j.ID,
+		Kind:     j.Spec.Kind,
+		State:    j.state,
+		Events:   len(j.events),
+		Error:    j.err,
+		QueuedAt: j.queuedAt,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		sn.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		sn.FinishedAt = &t
+	}
+	return sn
+}
+
+// eventsSince returns events with Seq > after, the current state, and a
+// channel that is closed on the next mutation — the building blocks of the
+// NDJSON stream.
+func (j *Job) eventsSince(after int) ([]Event, State, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []Event
+	if after < len(j.events) {
+		evs = append(evs, j.events[after:]...)
+	}
+	return evs, j.state, j.changed
+}
+
+// result returns the report once the job reached a terminal state.
+func (j *Job) result() ([]byte, State, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.output, j.state, j.err
+}
+
+// specDigest is the job's content identity — the checkpoint journal and
+// dedup key for byte-identical specs. Kind and raw parameter bytes both
+// count; clients that resubmit the same body get the same digest.
+func specDigest(spec Spec) string {
+	params := strings.TrimSpace(string(spec.Params))
+	if params == "" || params == "null" {
+		params = "{}"
+	}
+	return fmt.Sprintf("%s-%x", spec.Kind, hashBytes([]byte(spec.Kind+"\x00"+params)))
+}

@@ -1,0 +1,392 @@
+// Package serve is the rescued batch daemon: the repo's long-running flows
+// (ATPG/Table 3, fault-dictionary builds, isolation campaigns, YAT and IPC
+// studies, Monte Carlo fab fleets) exposed as HTTP jobs over a bounded
+// queue, with live NDJSON event streams, per-job cancellation, and a
+// graceful drain that checkpoints running campaigns so an identical
+// resubmission resumes them bit-identically.
+//
+// Every job renders through the same internal/flows runners the CLIs use,
+// against a shared content-addressed artifact store — so a warm job's
+// report is byte-identical to a cold one, and both are byte-identical to
+// the corresponding command's output (what results/*.txt pin).
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rescue/internal/fault"
+	"rescue/internal/flows"
+	"rescue/internal/obs"
+)
+
+// Cancellation causes, distinguishable via context.Cause so the runner can
+// map them to job states.
+var (
+	// ErrCanceled is the cause when a client DELETEs a job.
+	ErrCanceled = errors.New("job canceled by client")
+	// ErrDraining is the cause when the server is shutting down; running
+	// campaigns flush their checkpoint journals before the job finishes.
+	ErrDraining = errors.New("server draining")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// QueueCap bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with 429. 0 = 64.
+	QueueCap int
+	// Slots is the number of jobs running concurrently. 0 = 1: flows
+	// parallelize internally, so one slot already saturates the cores.
+	Slots int
+	// Workers is the per-job default campaign concurrency (0 = all cores);
+	// job params may override it.
+	Workers int
+	// CheckpointDir, when set, gives every checkpointable job a campaign
+	// journal named by its spec digest: a drained job's journal is resumed
+	// by the next identical submission. "" disables checkpointing.
+	CheckpointDir string
+	// Reg receives the server's metrics. nil = a private registry.
+	Reg *obs.Registry
+	// Kinds maps kind names to runners. nil = Kinds() (the built-in set).
+	Kinds map[string]Runner
+	// Logf, when set, receives one line per job transition.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the queue, the scheduler, and the artifact store.
+type Server struct {
+	cfg   Config
+	kinds map[string]Runner
+	store *flows.Store
+	reg   *obs.Registry
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for listing
+	nextID   int
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup // scheduler slots
+	jobWG sync.WaitGroup // running jobs
+
+	mQueued      *obs.Counter
+	mRejected    *obs.Counter
+	mSucceeded   *obs.Counter
+	mFailed      *obs.Counter
+	mCanceled    *obs.Counter
+	mInterrupted *obs.Counter
+	gQueueDepth  *obs.Gauge
+	gRunning     *obs.Gauge
+	hJobSeconds  *obs.Histogram
+}
+
+// New builds a Server and starts its scheduler slots.
+func New(cfg Config) *Server {
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Reg == nil {
+		cfg.Reg = obs.NewRegistry()
+	}
+	kinds := cfg.Kinds
+	if kinds == nil {
+		kinds = Kinds()
+	}
+	s := &Server{
+		cfg:   cfg,
+		kinds: kinds,
+		store: flows.NewStore(),
+		reg:   cfg.Reg,
+		jobs:  map[string]*Job{},
+		queue: make(chan *Job, cfg.QueueCap),
+
+		mQueued:      cfg.Reg.Counter("jobs_queued_total"),
+		mRejected:    cfg.Reg.Counter("jobs_rejected_total"),
+		mSucceeded:   cfg.Reg.Counter("jobs_succeeded_total"),
+		mFailed:      cfg.Reg.Counter("jobs_failed_total"),
+		mCanceled:    cfg.Reg.Counter("jobs_canceled_total"),
+		mInterrupted: cfg.Reg.Counter("jobs_interrupted_total"),
+		gQueueDepth:  cfg.Reg.Gauge("queue_depth"),
+		gRunning:     cfg.Reg.Gauge("jobs_running"),
+		hJobSeconds:  cfg.Reg.Histogram("job_seconds"),
+	}
+	cfg.Reg.RegisterFunc("artifact_cache_hits_total", func() float64 { return float64(s.store.Hits()) })
+	cfg.Reg.RegisterFunc("artifact_cache_misses_total", func() float64 { return float64(s.store.Misses()) })
+	cfg.Reg.RegisterFunc("artifact_cache_builds_total", func() float64 { return float64(s.store.Builds()) })
+	cfg.Reg.RegisterFunc("artifact_cache_entries", func() float64 { return float64(s.store.Len()) })
+	for i := 0; i < cfg.Slots; i++ {
+		s.wg.Add(1)
+		go s.slot()
+	}
+	return s
+}
+
+// Store exposes the artifact store (tests assert its hit/build counters).
+func (s *Server) Store() *flows.Store { return s.store }
+
+// Registry exposes the metrics registry backing /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Submit validates and enqueues a job. It returns ErrQueueFull when the
+// queue is at capacity and ErrDraining after Drain began.
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	if _, ok := s.kinds[spec.Kind]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, spec.Kind)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("j%06d", s.nextID), spec)
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.mu.Unlock()
+	s.mQueued.Inc()
+	s.gQueueDepth.Add(1)
+	s.logf("job %s queued kind=%s", j.ID, spec.Kind)
+	return j, nil
+}
+
+// Submission errors, mapped to HTTP statuses by the handler.
+var (
+	ErrQueueFull   = errors.New("job queue full")
+	ErrUnknownKind = errors.New("unknown job kind")
+)
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List snapshots every job in submission order.
+func (s *Server) List() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Snapshot, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. Queued jobs flip to canceled
+// immediately (the slot skips them); running jobs get their context
+// canceled with ErrCanceled and finish when the flow unwinds.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel(ErrCanceled)
+		return j, true
+	}
+	if j.setState(StateCanceled, ErrCanceled.Error()) {
+		s.mCanceled.Inc()
+		s.logf("job %s canceled while queued", j.ID)
+	}
+	return j, true
+}
+
+// Drain stops accepting submissions, cancels running jobs with the drain
+// cause — their campaigns finish in-flight chunks and flush checkpoint
+// journals — lets queued jobs fail over to interrupted, and waits for the
+// scheduler to go quiet. It is the SIGTERM path; rescued exits 0 after it
+// returns.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	close(s.queue)
+
+	for _, j := range jobs {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel(ErrDraining)
+		} else if j.setState(StateInterrupted, ErrDraining.Error()) {
+			// Still queued: the slot drains it from the channel (keeping the
+			// depth gauge honest) and skips it once it sees the state.
+			s.mInterrupted.Inc()
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// slot is one scheduler worker: it owns at most one running job at a time.
+func (s *Server) slot() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.gQueueDepth.Add(-1)
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job through the runner.
+func (s *Server) runJob(j *Job) {
+	runner := s.kinds[j.Spec.Kind]
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	j.mu.Lock()
+	if j.state.Done() { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	if !j.setState(StateRunning, "") {
+		return
+	}
+	s.jobWG.Add(1)
+	defer s.jobWG.Done()
+	s.gRunning.Add(1)
+	defer s.gRunning.Add(-1)
+	s.logf("job %s running", j.ID)
+	start := time.Now()
+
+	// Throttled progress events: at most one per percent of a campaign's
+	// work (plus its completion), so streams stay light even for
+	// million-fault campaigns. A flow runs many campaigns back to back;
+	// completion resets the threshold for the next one.
+	var lastPct int64 = -1
+	ctx = fault.WithProgress(ctx, func(done, total int64) {
+		pct := int64(0)
+		if total > 0 {
+			pct = 100 * done / total
+		}
+		j.mu.Lock()
+		if pct > lastPct || done == total {
+			lastPct = pct
+			if done == total {
+				lastPct = -1
+			}
+			j.appendLocked(Event{Type: "progress", Done: done, Total: total})
+		}
+		j.mu.Unlock()
+	})
+	ctx = obs.WithTracer(ctx, s.reg)
+
+	ck, ckPath, err := s.openCheckpoint(j)
+	if err != nil {
+		j.setState(StateFailed, err.Error())
+		s.mFailed.Inc()
+		return
+	}
+
+	out, runErr := runner(ctx, RunContext{
+		Env:     flows.Env{Store: s.store, Ck: ck},
+		Workers: s.cfg.Workers,
+	}, j.Spec.Params)
+	j.finishOutput(out)
+	s.hJobSeconds.Observe(time.Since(start).Seconds())
+
+	switch {
+	case runErr == nil:
+		if ckPath != "" {
+			os.Remove(ckPath)
+		}
+		if j.setState(StateSucceeded, "") {
+			s.mSucceeded.Inc()
+		}
+	case errors.Is(runErr, ErrCanceled):
+		if j.setState(StateCanceled, ErrCanceled.Error()) {
+			s.mCanceled.Inc()
+		}
+	case errors.Is(runErr, ErrDraining):
+		if j.setState(StateInterrupted, ErrDraining.Error()) {
+			s.mInterrupted.Inc()
+		}
+	default:
+		if j.setState(StateFailed, runErr.Error()) {
+			s.mFailed.Inc()
+		}
+	}
+	sn := j.snapshot()
+	s.logf("job %s %s (%s)", j.ID, sn.State, time.Since(start).Round(time.Millisecond))
+}
+
+// openCheckpoint opens the job's content-addressed campaign journal when
+// checkpointing is configured and the kind runs campaigns. A journal left
+// behind by a drained twin is resumed; a fresh path starts a new journal.
+func (s *Server) openCheckpoint(j *Job) (*fault.Checkpoint, string, error) {
+	if s.cfg.CheckpointDir == "" {
+		return nil, "", nil
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, specDigest(j.Spec)+".ck")
+	_, statErr := os.Stat(path)
+	resume := statErr == nil
+	ck, err := fault.OpenCheckpoint(path, resume)
+	if err != nil {
+		return nil, "", fmt.Errorf("checkpoint: %w", err)
+	}
+	// The journal path already encodes the job's full identity (the spec
+	// digest), so section matching can go by content: a warm-cache run
+	// journals only the campaigns it actually simulated, and a cold resume
+	// must find them regardless of position.
+	ck.ContentAddressed()
+	if resume {
+		j.append(Event{Type: "output", Msg: "resuming from checkpoint journal"})
+	}
+	return ck, path, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// hashBytes is the digest primitive shared with the job identity.
+func hashBytes(b []byte) []byte {
+	sum := sha256.Sum256(b)
+	return sum[:8]
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Cold-vs-warm serving benchmark for rescued's content-addressed artifact
+# cache: submit the small Table 3 campaign twice to one daemon and time
+# each job from submission to its event stream completing. The first run
+# builds every artifact (netlist, scan chain, ATPG test set); the second
+# is served from the cache and must finish at least MIN_SPEEDUP times
+# faster, byte-identical to the first.
+#
+# Emits BENCH_serve.json:
+#   {"bench":"serve_table3_small","cold_ms":...,"warm_ms":...,
+#    "speedup":...,"min_speedup":...,"cache_hits":...}
+#
+# Usage: scripts/bench-serve.sh [min speedup]   (default: 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+min_speedup=${1:-5}
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmp/rescued" ./cmd/rescued
+
+echo "== start rescued"
+"$tmp/rescued" -addr 127.0.0.1:0 -quiet >"$tmp/rescued.out" 2>&1 &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$tmp/rescued.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "FAIL: rescued never came up" >&2; exit 1; }
+base="http://$addr"
+
+# run_job submits the spec, blocks on the event stream until the job is
+# done, and prints "<job-id> <elapsed-ms>".
+run_job() {
+    local t0 t1 job
+    t0=$(date +%s%N)
+    job=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"kind":"table3","params":{"small":true,"workers":2}}' \
+        "$base/jobs" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"id": *"\([^"]*\)".*/\1/')
+    curl -fsS --no-buffer "$base/jobs/$job/events" >/dev/null
+    t1=$(date +%s%N)
+    echo "$job $(( (t1 - t0) / 1000000 ))"
+}
+
+echo "== cold run (builds every artifact)"
+read -r cold_job cold_ms < <(run_job)
+echo "   cold: ${cold_ms}ms"
+
+echo "== warm run (artifact cache)"
+read -r warm_job warm_ms < <(run_job)
+echo "   warm: ${warm_ms}ms"
+
+curl -fsS "$base/jobs/$cold_job/result" >"$tmp/cold.txt"
+curl -fsS "$base/jobs/$warm_job/result" >"$tmp/warm.txt"
+cmp "$tmp/cold.txt" "$tmp/warm.txt" || {
+    echo "FAIL: warm result is not byte-identical to cold" >&2
+    exit 1
+}
+hits=$(curl -fsS "$base/metrics" | awk '$1 == "artifact_cache_hits_total" { print $2 }')
+if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
+    echo "FAIL: no artifact cache hits recorded (hits='${hits:-missing}')" >&2
+    exit 1
+fi
+
+# Guard against division by zero on absurdly fast machines.
+[ "$warm_ms" -ge 1 ] || warm_ms=1
+speedup=$(( cold_ms / warm_ms ))
+printf '{"bench":"serve_table3_small","cold_ms":%d,"warm_ms":%d,"speedup":%d,"min_speedup":%d,"cache_hits":%s}\n' \
+    "$cold_ms" "$warm_ms" "$speedup" "$min_speedup" "$hits" >BENCH_serve.json
+cat BENCH_serve.json
+
+if [ "$speedup" -lt "$min_speedup" ]; then
+    echo "FAIL: warm/cold speedup ${speedup}x < required ${min_speedup}x" >&2
+    exit 1
+fi
+echo "PASS: warm serving ${speedup}x faster than cold (>= ${min_speedup}x)"

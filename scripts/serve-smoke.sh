@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the rescued batch daemon over real HTTP:
+#
+#   1. build rescued and start it on an ephemeral port
+#   2. submit the small Table 3 ATPG campaign as a job
+#   3. stream its NDJSON event feed to completion (must include progress)
+#   4. diff the job result against the committed golden — byte for byte,
+#      the daemon must reproduce exactly what the rescue-atpg CLI prints
+#   5. resubmit the identical spec; it must be served from the artifact
+#      cache (hit counter moves on /metrics) and stay byte-identical
+#   6. scrape /metrics and assert the job and cache counters are nonzero
+#   7. SIGTERM the daemon; it must drain and exit 0
+#
+# Usage: scripts/serve-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmp/rescued" ./cmd/rescued
+
+echo "== start rescued on an ephemeral port"
+"$tmp/rescued" -addr 127.0.0.1:0 -checkpoint-dir "$tmp/ck" >"$tmp/rescued.out" 2>"$tmp/rescued.err" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$tmp/rescued.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: rescued never reported its listen address" >&2
+    cat "$tmp/rescued.err" >&2
+    exit 1
+fi
+base="http://$addr"
+curl -fsS "$base/healthz" >/dev/null
+
+submit() {
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"kind":"table3","params":{"small":true,"workers":2}}' \
+        "$base/jobs" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"id": *"\([^"]*\)".*/\1/'
+}
+
+echo "== submit small table3 (cold) and stream events"
+job=$(submit)
+[ -n "$job" ] || { echo "FAIL: no job id in submit response" >&2; exit 1; }
+curl -fsS --no-buffer "$base/jobs/$job/events" >"$tmp/events.ndjson"
+grep -q '"type":"progress"' "$tmp/events.ndjson" || {
+    echo "FAIL: event stream carried no progress events" >&2
+    cat "$tmp/events.ndjson" >&2
+    exit 1
+}
+grep -q '"type":"done"' "$tmp/events.ndjson" || {
+    echo "FAIL: event stream never reached done" >&2
+    exit 1
+}
+
+echo "== diff cold result against the golden"
+curl -fsS "$base/jobs/$job/result" >"$tmp/cold.txt"
+diff -u results/table3_small.txt "$tmp/cold.txt"
+
+echo "== resubmit: must be a cache hit and still byte-identical"
+job2=$(submit)
+curl -fsS --no-buffer "$base/jobs/$job2/events" >/dev/null
+curl -fsS "$base/jobs/$job2/result" >"$tmp/warm.txt"
+diff -u results/table3_small.txt "$tmp/warm.txt"
+
+echo "== scrape /metrics"
+curl -fsS "$base/metrics" >"$tmp/metrics.txt"
+metric() {
+    awk -v name="$1" '$1 == name { print $2 }' "$tmp/metrics.txt"
+}
+for m in jobs_succeeded_total artifact_cache_hits_total artifact_cache_misses_total; do
+    v=$(metric "$m")
+    if [ -z "$v" ] || [ "$v" -lt 1 ]; then
+        echo "FAIL: /metrics $m = '${v:-missing}', want >= 1" >&2
+        cat "$tmp/metrics.txt" >&2
+        exit 1
+    fi
+    echo "   $m = $v"
+done
+if [ "$(metric jobs_succeeded_total)" -ne 2 ]; then
+    echo "FAIL: expected exactly 2 succeeded jobs" >&2
+    exit 1
+fi
+
+echo "== SIGTERM: daemon must drain and exit 0"
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: rescued exited $rc on SIGTERM, want 0" >&2
+    cat "$tmp/rescued.err" >&2
+    exit 1
+fi
+grep -q 'drained; exiting' "$tmp/rescued.out" || {
+    echo "FAIL: no drain confirmation on stdout" >&2
+    exit 1
+}
+
+echo "PASS: serve smoke (cold + warm byte-identical, metrics live, clean drain)"
