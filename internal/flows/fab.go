@@ -18,11 +18,11 @@ import (
 // rescue-fab command surface. NodeNM must be one of area.Nodes()
 // (validated by ValidNode); zero values take the command's defaults.
 type FabOpts struct {
-	Dies          int   // 0 = 10000
-	NodeNM        int   // 0 = 18
-	StagnateNM    int   // 0 = 90
+	Dies          int // 0 = 10000
+	NodeNM        int // 0 = 18
+	StagnateNM    int // 0 = 90
 	Growth        float64
-	GrowthSet     bool // distinguishes an explicit 0 growth from the default 0.30
+	GrowthSet     bool  // distinguishes an explicit 0 growth from the default 0.30
 	Seed          int64 // 0 = 2026
 	Workers       int
 	Small         bool

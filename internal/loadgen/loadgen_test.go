@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func testConfig(seed int64) Config {
+	return Config{
+		Seed:      seed,
+		Clients:   10,
+		Duration:  20 * time.Second,
+		RPS:       50,
+		Skew:      1.0,
+		HitRatio:  0.8,
+		BurstFrac: 0.3,
+		Profiles:  SmallMix(),
+	}
+}
+
+// TestScheduleDeterministic is the acceptance pin: the same seed builds an
+// identical request schedule — clients, kinds, arrival times, bodies —
+// and a different seed does not.
+func TestScheduleDeterministic(t *testing.T) {
+	a, err := Build(testConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(testConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same seed, different digests: %s vs %s", a.Digest(), b.Digest())
+	}
+	// Digest covers the full request list: same length, same fields.
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("request counts differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		ra, rb := a.Requests[i], b.Requests[i]
+		if ra.At != rb.At || ra.Client != rb.Client || ra.Kind != rb.Kind ||
+			ra.Warm != rb.Warm || !bytes.Equal(ra.Body, rb.Body) {
+			t.Fatalf("request %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+
+	c, err := Build(testConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleShape checks the statistical contract: time-ordered arrivals
+// inside the horizon, a Zipf-skewed population, warm share near the hit
+// ratio, every kind present, and request volume near RPS × duration.
+func TestScheduleShape(t *testing.T) {
+	cfg := testConfig(7)
+	sch, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perClient := make([]int, cfg.Clients)
+	perKind := map[string]int{}
+	warm, seedable := 0, 0
+	seedableKinds := map[string]bool{}
+	for _, p := range cfg.Profiles {
+		if p.SeedKey != "" {
+			seedableKinds[p.Kind] = true
+		}
+	}
+	last := time.Duration(-1)
+	for _, r := range sch.Requests {
+		if r.At < last {
+			t.Fatalf("arrivals out of order at seq %d: %v < %v", r.Seq, r.At, last)
+		}
+		last = r.At
+		if r.At >= cfg.Duration {
+			t.Fatalf("request %d scheduled past the horizon: %v", r.Seq, r.At)
+		}
+		perClient[r.Client]++
+		perKind[r.Kind]++
+		if seedableKinds[r.Kind] {
+			seedable++
+			if r.Warm {
+				warm++
+			}
+		} else if !r.Warm {
+			t.Fatalf("warm-only kind %s produced a cold request", r.Kind)
+		}
+	}
+
+	// Volume ≈ RPS × duration; bursts add on top, so allow a wide band.
+	n := len(sch.Requests)
+	expect := cfg.RPS * cfg.Duration.Seconds()
+	if float64(n) < 0.5*expect || float64(n) > 3*expect {
+		t.Fatalf("%d requests for expected ~%.0f", n, expect)
+	}
+	// Zipf skew: the heaviest client far outweighs the lightest.
+	if perClient[0] < 2*perClient[cfg.Clients-1] {
+		t.Fatalf("no rate skew: client0=%d clientN=%d", perClient[0], perClient[cfg.Clients-1])
+	}
+	// Every profile kind appears.
+	for _, p := range cfg.Profiles {
+		if perKind[p.Kind] == 0 {
+			t.Fatalf("kind %s never scheduled (mix %v)", p.Kind, perKind)
+		}
+	}
+	// Warm share of seedable traffic tracks the configured hit ratio.
+	ratio := float64(warm) / float64(seedable)
+	if ratio < cfg.HitRatio-0.1 || ratio > cfg.HitRatio+0.1 {
+		t.Fatalf("warm ratio %.2f for configured %.2f (%d/%d)", ratio, cfg.HitRatio, warm, seedable)
+	}
+}
+
+// TestScheduleBodies: warm requests carry exactly the canonical body; cold
+// requests perturb only the seed key, each with a distinct large seed.
+func TestScheduleBodies(t *testing.T) {
+	cfg := testConfig(11)
+	sch, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedKey := map[string]string{}
+	for _, p := range cfg.Profiles {
+		seedKey[p.Kind] = p.SeedKey
+	}
+	seen := map[int64]bool{}
+	cold := 0
+	for _, r := range sch.Requests {
+		if r.Warm {
+			if !bytes.Equal(r.Body, sch.Canonical[r.Kind]) {
+				t.Fatalf("warm request %d body differs from canonical:\n%s\n%s",
+					r.Seq, r.Body, sch.Canonical[r.Kind])
+			}
+			continue
+		}
+		cold++
+		var spec struct {
+			Kind   string                     `json:"kind"`
+			Params map[string]json.RawMessage `json:"params"`
+		}
+		if err := json.Unmarshal(r.Body, &spec); err != nil {
+			t.Fatalf("cold body %d: %v", r.Seq, err)
+		}
+		var seed int64
+		if err := json.Unmarshal(spec.Params[seedKey[r.Kind]], &seed); err != nil {
+			t.Fatalf("cold body %d has no %s: %s", r.Seq, seedKey[r.Kind], r.Body)
+		}
+		if seed < 1<<32 {
+			t.Fatalf("cold seed %d too small (may alias a canonical seed)", seed)
+		}
+		if seen[seed] {
+			t.Fatalf("cold seed %d reused; cold requests must be distinct artifacts", seed)
+		}
+		seen[seed] = true
+	}
+	if cold == 0 {
+		t.Fatal("schedule has no cold requests at hit ratio 0.8")
+	}
+}
+
+// TestBuildValidation: broken configs are rejected up front.
+func TestBuildValidation(t *testing.T) {
+	bad := []Config{
+		{Clients: 0, Duration: time.Second, RPS: 1, Profiles: SmallMix()},
+		{Clients: 1, Duration: 0, RPS: 1, Profiles: SmallMix()},
+		{Clients: 1, Duration: time.Second, RPS: 0, Profiles: SmallMix()},
+		{Clients: 1, Duration: time.Second, RPS: 1},
+		{Clients: 1, Duration: time.Second, RPS: 1, HitRatio: 1.5, Profiles: SmallMix()},
+		{Clients: 1, Duration: time.Second, RPS: 1, Skew: -1, Profiles: SmallMix()},
+		{Clients: 1, Duration: time.Second, RPS: 1,
+			Profiles: []Profile{{Kind: "x", Weight: 0}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("config %d accepted, want error: %+v", i, cfg)
+		}
+	}
+}

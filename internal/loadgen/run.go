@@ -1,0 +1,393 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options parameterize a firing run.
+type Options struct {
+	// BaseURL is the daemon root, e.g. http://127.0.0.1:8321.
+	BaseURL string
+	// Prewarm submits each profile's canonical spec once and waits for it
+	// before the clock starts, so the warm share of the schedule measures
+	// cache serving rather than first-build cost.
+	Prewarm bool
+	// MaxRetries bounds 429 resubmissions per request. 0 = 8.
+	MaxRetries int
+	// RetryCap clamps how long a Retry-After is honored, keeping short
+	// benchmark runs from stalling on a 60s estimate. 0 = 5s.
+	RetryCap time.Duration
+	// SampleEvery is the /metrics sampling period for queue depth and
+	// slot occupancy. 0 = 250ms.
+	SampleEvery time.Duration
+	// RequestTimeout bounds one request's full lifecycle. 0 = 5m.
+	RequestTimeout time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() error {
+	if o.BaseURL == "" {
+		return fmt.Errorf("loadgen: need a base URL")
+	}
+	o.BaseURL = strings.TrimSuffix(o.BaseURL, "/")
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 8
+	}
+	if o.RetryCap == 0 {
+		o.RetryCap = 5 * time.Second
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 250 * time.Millisecond
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 5 * time.Minute
+	}
+	return nil
+}
+
+// RequestResult records one request's observed lifecycle.
+type RequestResult struct {
+	Seq    int    `json:"seq"`
+	Client int    `json:"client"`
+	Kind   string `json:"kind"`
+	Warm   bool   `json:"warm"`
+	// SubmitMS is scheduled-fire to 202, including any 429 backoff.
+	SubmitMS float64 `json:"submitMS"`
+	// TotalMS is scheduled-fire to the job's terminal state.
+	TotalMS float64 `json:"totalMS"`
+	// Retries counts 429-backoff resubmissions.
+	Retries int `json:"retries"`
+	// State is the job's terminal state, or "rejected" when retries ran
+	// out, or "error" on a transport/protocol failure (Err has detail).
+	State string `json:"state"`
+	Err   string `json:"err,omitempty"`
+}
+
+// OK reports whether the request completed as a client would want.
+func (r RequestResult) OK() bool { return r.State == "succeeded" }
+
+// RunStats is everything a firing run observed.
+type RunStats struct {
+	Results []RequestResult
+	// Wall is schedule start to last completion.
+	Wall time.Duration
+	// Queue/slot occupancy sampled from /metrics during the run.
+	QueueDepthMax  int64
+	QueueDepthMean float64
+	SlotsBusyMean  float64
+	Slots          int64
+	Samples        int
+	// Artifact-cache traffic over the run (deltas; prewarm excluded).
+	CacheHits, CacheMisses int64
+	// PrewarmMS is how long priming the canonical specs took.
+	PrewarmMS float64
+}
+
+// Run replays a schedule against a live daemon and records what happened.
+// The generator is open-loop: requests fire at their scheduled offsets
+// whether or not earlier ones completed — that is what pushes the queue.
+func Run(ctx context.Context, sch *Schedule, opts Options) (*RunStats, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	client := &http.Client{}
+	st := &RunStats{Results: make([]RequestResult, len(sch.Requests))}
+
+	if opts.Prewarm {
+		t0 := time.Now()
+		for _, kind := range canonicalKinds(sch) {
+			rr := fire(ctx, client, opts, Request{Kind: kind, Body: sch.Canonical[kind], Warm: true})
+			if !rr.OK() {
+				return nil, fmt.Errorf("loadgen: prewarm %s: state %s %s", kind, rr.State, rr.Err)
+			}
+		}
+		st.PrewarmMS = float64(time.Since(t0)) / float64(time.Millisecond)
+		logf(opts, "prewarmed %d canonical specs in %.0fms", len(sch.Canonical), st.PrewarmMS)
+	}
+
+	hits0, misses0, err := scrapeCache(ctx, client, opts.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: baseline /metrics scrape: %w", err)
+	}
+
+	// Gauge sampler: queue depth and busy slots over the run.
+	samplerCtx, stopSampler := context.WithCancel(ctx)
+	defer stopSampler()
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(opts.SampleEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerCtx.Done():
+				return
+			case <-tick.C:
+				g, err := scrapeGauges(samplerCtx, client, opts.BaseURL)
+				if err != nil {
+					continue
+				}
+				if g.queueDepth > st.QueueDepthMax {
+					st.QueueDepthMax = g.queueDepth
+				}
+				st.QueueDepthMean += float64(g.queueDepth)
+				st.SlotsBusyMean += float64(g.running)
+				st.Slots = g.slots
+				st.Samples++
+			}
+		}
+	}()
+
+	// Open-loop firing.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range sch.Requests {
+		req := sch.Requests[i]
+		if d := time.Until(start.Add(req.At)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			st.Results[i] = fire(ctx, client, opts, req)
+		}(i, req)
+	}
+	wg.Wait()
+	st.Wall = time.Since(start)
+	stopSampler()
+	<-samplerDone
+	if st.Samples > 0 {
+		st.QueueDepthMean /= float64(st.Samples)
+		st.SlotsBusyMean /= float64(st.Samples)
+	}
+
+	hits1, misses1, err := scrapeCache(ctx, client, opts.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: final /metrics scrape: %w", err)
+	}
+	st.CacheHits = hits1 - hits0
+	st.CacheMisses = misses1 - misses0
+	logf(opts, "fired %d requests in %s (cache +%d hits / +%d misses)",
+		len(sch.Requests), st.Wall.Round(time.Millisecond), st.CacheHits, st.CacheMisses)
+	return st, nil
+}
+
+// canonicalKinds yields the canonical kinds sorted by name so prewarm
+// order (and thus which spec pays for shared artifacts) is deterministic.
+func canonicalKinds(sch *Schedule) []string {
+	kinds := make([]string, 0, len(sch.Canonical))
+	for k := range sch.Canonical {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// fire drives one request's lifecycle: submit (with 429 backoff honoring
+// Retry-After), then stream events until the job goes terminal.
+func fire(ctx context.Context, client *http.Client, opts Options, req Request) RequestResult {
+	rr := RequestResult{Seq: req.Seq, Client: req.Client, Kind: req.Kind, Warm: req.Warm}
+	ctx, cancel := context.WithTimeout(ctx, opts.RequestTimeout)
+	defer cancel()
+	t0 := time.Now()
+
+	id := ""
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			opts.BaseURL+"/jobs", strings.NewReader(string(req.Body)))
+		if err != nil {
+			return rr.fail("error", err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return rr.fail("error", err)
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			var sn struct {
+				ID string `json:"id"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&sn)
+			resp.Body.Close()
+			if err != nil || sn.ID == "" {
+				return rr.fail("error", fmt.Errorf("bad submit response: %v", err))
+			}
+			id = sn.ID
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return rr.fail("error", fmt.Errorf("submit: HTTP %d", resp.StatusCode))
+		}
+		if attempt >= opts.MaxRetries {
+			rr.SubmitMS = sinceMS(t0)
+			rr.TotalMS = rr.SubmitMS
+			rr.State = "rejected"
+			rr.Err = fmt.Sprintf("still 429 after %d retries", attempt)
+			return rr
+		}
+		rr.Retries++
+		wait := backoff(retryAfter, opts.RetryCap)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return rr.fail("error", ctx.Err())
+		}
+	}
+	rr.SubmitMS = sinceMS(t0)
+
+	state, err := streamUntilDone(ctx, client, opts.BaseURL, id)
+	rr.TotalMS = sinceMS(t0)
+	if err != nil {
+		return rr.fail("error", err)
+	}
+	rr.State = state
+	return rr
+}
+
+func (r RequestResult) fail(state string, err error) RequestResult {
+	r.State = state
+	r.Err = err.Error()
+	return r
+}
+
+func sinceMS(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// backoff converts a Retry-After header into a wait: the server's
+// estimate clamped to [100ms, cap]; an absent or malformed header falls
+// back to the cap's floor.
+func backoff(retryAfter string, cap time.Duration) time.Duration {
+	wait := 100 * time.Millisecond
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		wait = time.Duration(secs) * time.Second
+	}
+	if wait > cap {
+		wait = cap
+	}
+	if wait < 100*time.Millisecond {
+		wait = 100 * time.Millisecond
+	}
+	return wait
+}
+
+// streamUntilDone follows the job's NDJSON event stream and returns the
+// terminal state from its done event. The stream ends when the job does,
+// so reading to EOF is the completion wait.
+func streamUntilDone(ctx context.Context, client *http.Client, base, id string) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("events: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	state := ""
+	for sc.Scan() {
+		var ev struct {
+			Type  string `json:"type"`
+			State string `json:"state"`
+		}
+		if json.Unmarshal(sc.Bytes(), &ev) == nil && ev.Type == "done" {
+			state = ev.State
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if state == "" {
+		return "", fmt.Errorf("event stream for %s ended without a done event", id)
+	}
+	return state, nil
+}
+
+type gauges struct {
+	queueDepth, running, slots int64
+}
+
+func scrapeGauges(ctx context.Context, client *http.Client, base string) (gauges, error) {
+	m, err := scrape(ctx, client, base)
+	if err != nil {
+		return gauges{}, err
+	}
+	return gauges{
+		queueDepth: m["queue_depth"],
+		running:    m["jobs_running"],
+		slots:      m["scheduler_slots"],
+	}, nil
+}
+
+func scrapeCache(ctx context.Context, client *http.Client, base string) (hits, misses int64, err error) {
+	m, err := scrape(ctx, client, base)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m["artifact_cache_hits_total"], m["artifact_cache_misses_total"], nil
+}
+
+// scrape pulls /metrics and parses the integer-valued lines.
+func scrape(ctx context.Context, client *http.Client, base string) (map[string]int64, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	out := map[string]int64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		// Integer gauges parse directly; float-valued funcs parse via
+		// ParseFloat so "0.25"-style lines still land (truncated).
+		if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+			out[name] = n
+		} else if f, err := strconv.ParseFloat(val, 64); err == nil {
+			out[name] = int64(f)
+		}
+	}
+	return out, sc.Err()
+}
+
+func logf(opts Options, format string, args ...any) {
+	if opts.Logf != nil {
+		opts.Logf(format, args...)
+	}
+}

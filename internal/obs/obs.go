@@ -52,13 +52,22 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Histogram accumulates float64 observations as count/sum/min/max — enough
-// to read latency behavior off /metrics without bucket bookkeeping.
+// maxHistogramSamples bounds the per-histogram sample buffer backing
+// quantile extraction. Below the cap quantiles are exact; past it the
+// buffer degrades to a uniform reservoir, so long-running daemons keep a
+// fixed memory footprint and still report representative percentiles.
+const maxHistogramSamples = 1 << 14
+
+// Histogram accumulates float64 observations as count/sum/min/max plus a
+// bounded sample buffer for quantile extraction — enough to read latency
+// percentiles off /metrics without external bucket configuration.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
 	sum      float64
 	min, max float64
+	samples  []float64
+	rng      uint64 // xorshift state for reservoir replacement
 }
 
 // Observe records one sample.
@@ -73,6 +82,22 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if len(h.samples) < maxHistogramSamples {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Reservoir sampling keeps each past observation in the buffer with
+	// equal probability. The xorshift stream is seeded deterministically,
+	// so a given observation sequence always yields the same reservoir.
+	if h.rng == 0 {
+		h.rng = 0x9e3779b97f4a7c15
+	}
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if j := h.rng % uint64(h.count); j < uint64(len(h.samples)) {
+		h.samples[j] = v
+	}
 }
 
 // Snapshot returns the accumulated count, sum, min, and max.
@@ -80,6 +105,47 @@ func (h *Histogram) Snapshot() (count int64, sum, min, max float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count, h.sum, h.min, h.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observed samples by
+// the nearest-rank method: the smallest sample v such that at least q·N
+// samples are ≤ v. q outside [0,1] is clamped. An empty histogram returns
+// 0 — callers gate on Snapshot's count when "no data" must differ from
+// "zero latency". Exact while fewer than 2^14 samples have been observed;
+// reservoir-approximate beyond that.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Quantiles(q)[0]
+}
+
+// Quantiles returns the nearest-rank quantiles for each q in qs, sorting
+// the sample buffer once. Monotone in q: qs[i] ≤ qs[j] implies the i-th
+// result ≤ the j-th.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	h.mu.Lock()
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	h.mu.Unlock()
+	sort.Float64s(sorted)
+
+	out := make([]float64, len(qs))
+	if len(sorted) == 0 {
+		return out
+	}
+	for i, q := range qs {
+		if math.IsNaN(q) || q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		// Nearest rank: ceil(q*N), 1-based; q=0 maps to the minimum.
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
 }
 
 // Registry is a named collection of metrics. All methods are safe for
@@ -199,6 +265,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		h := h
 		rows = append(rows, row{"summary", name, func(w io.Writer) error {
 			count, sum, min, max := h.Snapshot()
+			qs := h.Quantiles(0.5, 0.9, 0.99)
 			if _, err := fmt.Fprintf(w, "%s_count %d\n", name, count); err != nil {
 				return err
 			}
@@ -208,8 +275,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_min %s\n", name, formatFloat(min)); err != nil {
 				return err
 			}
-			_, err := fmt.Fprintf(w, "%s_max %s\n", name, formatFloat(max))
-			return err
+			if _, err := fmt.Fprintf(w, "%s_max %s\n", name, formatFloat(max)); err != nil {
+				return err
+			}
+			for i, p := range []string{"p50", "p90", "p99"} {
+				if _, err := fmt.Fprintf(w, "%s_%s %s\n", name, p, formatFloat(qs[i])); err != nil {
+					return err
+				}
+			}
+			return nil
 		}})
 	}
 	r.mu.Unlock()

@@ -39,6 +39,107 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileExact pins the nearest-rank definition on small
+// exact samples — the loadgen's SLO verdicts ride on these values.
+func TestHistogramQuantileExact(t *testing.T) {
+	h := &Histogram{}
+	// Observe 1..10 out of order; quantiles see the sorted view.
+	for _, v := range []float64{7, 1, 10, 4, 2, 9, 3, 6, 5, 8} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},     // q=0 is the minimum
+		{0.1, 1},   // ceil(0.1*10) = rank 1
+		{0.5, 5},   // ceil(0.5*10) = rank 5
+		{0.55, 6},  // ceil(0.55*10) = rank 6
+		{0.9, 9},   // ceil(0.9*10) = rank 9
+		{0.99, 10}, // ceil(0.99*10) = rank 10
+		{1, 10},    // q=1 is the maximum
+		{-2, 1},    // clamped to 0
+		{7, 10},    // clamped to 1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	h2 := &Histogram{}
+	h2.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h2.Quantile(q); got != 42 {
+			t.Errorf("single-sample Quantile(%g) = %g, want 42", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileMonotone: p50 ≤ p90 ≤ p99 ≤ max for an arbitrary
+// sample set, via both Quantile and the batch Quantiles call.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := &Histogram{}
+	v := 1.0
+	for i := 0; i < 1000; i++ {
+		v = v*1.1 + float64(i%17) // deterministic, spread-out positives
+		h.Observe(v / (1 + v))
+		h.Observe(float64(i % 97))
+	}
+	qs := h.Quantiles(0.5, 0.9, 0.99, 1)
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Fatalf("quantiles not monotone: %v", qs)
+		}
+	}
+	if got := h.Quantile(0.5); got != qs[0] {
+		t.Fatalf("Quantile(0.5) = %g, Quantiles batch = %g", got, qs[0])
+	}
+	_, _, _, max := h.Snapshot()
+	if qs[3] != max {
+		t.Fatalf("Quantile(1) = %g, want max %g", qs[3], max)
+	}
+}
+
+// TestHistogramQuantileEmpty: an empty histogram reports 0 for every
+// quantile and never panics.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := &Histogram{}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if qs := h.Quantiles(0.5, 0.99); qs[0] != 0 || qs[1] != 0 {
+		t.Fatalf("empty Quantiles = %v, want zeros", qs)
+	}
+}
+
+// TestHistogramReservoirBounded: past the sample cap the buffer stays
+// fixed-size, quantiles stay inside the observed range, and identical
+// observation sequences produce identical quantiles (determinism the
+// loadgen's cross-commit comparisons rely on).
+func TestHistogramReservoirBounded(t *testing.T) {
+	run := func() (float64, float64) {
+		h := &Histogram{}
+		for i := 0; i < 3*maxHistogramSamples; i++ {
+			h.Observe(float64(i % 1000))
+		}
+		return h.Quantile(0.5), h.Quantile(0.99)
+	}
+	p50a, p99a := run()
+	p50b, p99b := run()
+	if p50a != p50b || p99a != p99b {
+		t.Fatalf("reservoir quantiles not deterministic: (%g,%g) vs (%g,%g)", p50a, p99a, p50b, p99b)
+	}
+	if p50a < 0 || p50a > 999 || p99a < 0 || p99a > 999 {
+		t.Fatalf("reservoir quantiles out of observed range: p50=%g p99=%g", p50a, p99a)
+	}
+	if p99a < p50a {
+		t.Fatalf("reservoir quantiles not monotone: p50=%g p99=%g", p50a, p99a)
+	}
+}
+
 func TestWriteTextFormat(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total").Inc()
@@ -56,6 +157,8 @@ func TestWriteTextFormat(t *testing.T) {
 		"# TYPE b_depth gauge\nb_depth 4\n",
 		"c_seconds_count 1\n",
 		"c_seconds_sum 0.5\n",
+		"c_seconds_p50 0.5\n",
+		"c_seconds_p99 0.5\n",
 		"d_ratio 0.25\n",
 	} {
 		if !strings.Contains(out, want) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"rescue/internal/obs"
@@ -68,6 +69,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		j, err := s.Submit(spec)
 		switch {
 		case errors.Is(err, ErrQueueFull):
+			// Retry-After makes client backoff principled: the estimated
+			// queue-drain time, not a guess.
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
 			writeErr(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, ErrDraining):
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)

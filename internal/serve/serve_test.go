@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -219,6 +220,40 @@ func TestServeQueueFull(t *testing.T) {
 	}
 	if code, b := s.get(t, "/metrics"); code != http.StatusOK || !strings.Contains(string(b), "jobs_rejected_total 1") {
 		t.Fatalf("rejection not counted:\n%s", b)
+	}
+}
+
+// TestServeRetryAfter: a 429 from a full queue carries a Retry-After
+// header — a positive integer number of seconds — and /metrics exposes the
+// queue_cap and scheduler_slots capacity gauges clients size backoff with.
+func TestServeRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := newTestServer(t, serve.Config{Slots: 1, QueueCap: 1, Kinds: testKinds(release)})
+
+	running, _ := s.submit(t, `{"kind":"block"}`)
+	s.waitState(t, running.ID, serve.StateRunning, 10*time.Second)
+	if _, resp := s.submit(t, `{"kind":"block"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submit: %d", resp.StatusCode)
+	}
+	_, resp := s.submit(t, `{"kind":"block"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After = %q, want integer seconds in [1,60]", ra)
+	}
+
+	code, b := s.get(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{"queue_cap 1", "scheduler_slots 1", "queue_depth 1"} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, b)
+		}
 	}
 }
 

@@ -120,6 +120,8 @@ func New(cfg Config) *Server {
 		gRunning:     cfg.Reg.Gauge("jobs_running"),
 		hJobSeconds:  cfg.Reg.Histogram("job_seconds"),
 	}
+	cfg.Reg.RegisterFunc("queue_cap", func() float64 { return float64(s.cfg.QueueCap) })
+	cfg.Reg.RegisterFunc("scheduler_slots", func() float64 { return float64(s.cfg.Slots) })
 	cfg.Reg.RegisterFunc("artifact_cache_hits_total", func() float64 { return float64(s.store.Hits()) })
 	cfg.Reg.RegisterFunc("artifact_cache_misses_total", func() float64 { return float64(s.store.Misses()) })
 	cfg.Reg.RegisterFunc("artifact_cache_builds_total", func() float64 { return float64(s.store.Builds()) })
@@ -172,6 +174,28 @@ var (
 	ErrQueueFull   = errors.New("job queue full")
 	ErrUnknownKind = errors.New("unknown job kind")
 )
+
+// RetryAfter estimates how many seconds a 429'd client should wait before
+// resubmitting: the time for the scheduler to drain the current queue,
+// from the observed mean job duration — depth/slots jobs ahead of the
+// retry, clamped to [1s, 60s]. With no completed jobs yet the estimate
+// defaults to the 1-second floor.
+func (s *Server) RetryAfter() int {
+	count, sum, _, _ := s.hJobSeconds.Snapshot()
+	mean := 1.0
+	if count > 0 {
+		mean = sum / float64(count)
+	}
+	depth := float64(s.gQueueDepth.Value() + s.gRunning.Value())
+	secs := int(mean*depth/float64(s.cfg.Slots) + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
 
 // Job looks a job up by ID.
 func (s *Server) Job(id string) (*Job, bool) {

@@ -180,7 +180,7 @@ func (cm CoreModel) YAT(d float64) float64 { return cm.yatCore(d) }
 func (cm CoreModel) Yield(d float64) float64 {
 	y := PoissonClean(d * cm.Area.SingleArea(area.Chipkill))
 	for _, g := range []area.Group{area.Frontend, area.IntIQ, area.FPIQ, area.LSQ, area.IntBE, area.FPBE} {
-		y *= 1 - PairProb(d*cm.Area.SingleArea(g))[BothDown]
+		y *= 1 - PairProb(d * cm.Area.SingleArea(g))[BothDown]
 	}
 	return y
 }

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Seeded load-test smoke for the rescued daemon, and the CI SLO gate:
+#
+#   1. build rescued and rescue-loadgen
+#   2. pin workload determinism: two -dry-run compilations of the same
+#      seed must produce the identical schedule digest
+#   3. boot rescued, then fire the seeded smoke population (warm-dominant
+#      mix over all five job kinds, Zipf-skewed bursty clients) open-loop
+#      over real HTTP with the warm-path p99 SLO and zero-error floor
+#      enforced — a violation fails the build
+#   4. assert BENCH_loadtest.json carries the per-kind percentiles,
+#      throughput, cache economics, and SLO verdict CI archives
+#   5. prove the gate can fail: rerun under an absurd 1ms SLO and require
+#      a nonzero exit
+#   6. SIGTERM the daemon; it must drain and exit 0
+#
+# The SLO floor is deliberately generous (default 5s warm p99 vs ~1s
+# measured locally): it is a regression tripwire for "the artifact cache
+# or scheduler broke", not a performance contest with CI hardware.
+#
+# Usage: scripts/loadtest-smoke.sh
+#   env: SLO_P99_WARM (default 5s), LOAD_SEED (default 2026)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+slo=${SLO_P99_WARM:-5s}
+seed=${LOAD_SEED:-2026}
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmp/rescued" ./cmd/rescued
+go build -o "$tmp/rescue-loadgen" ./cmd/rescue-loadgen
+
+gen() {
+    "$tmp/rescue-loadgen" -seed "$seed" -clients 6 -duration 8s -rps 12 \
+        -hit-ratio 0.95 "$@"
+}
+
+echo "== schedule determinism: same seed, same digest"
+d1=$(gen -dry-run 2>&1 >/dev/null | sed -n 's/.*digest //p')
+d2=$(gen -dry-run 2>&1 >/dev/null | sed -n 's/.*digest //p')
+[ -n "$d1" ] || { echo "FAIL: no schedule digest from -dry-run" >&2; exit 1; }
+if [ "$d1" != "$d2" ]; then
+    echo "FAIL: same seed produced different schedules: $d1 vs $d2" >&2
+    exit 1
+fi
+echo "   digest $d1"
+
+echo "== start rescued"
+"$tmp/rescued" -addr 127.0.0.1:0 -slots 4 -quiet >"$tmp/rescued.out" 2>&1 &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$tmp/rescued.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "FAIL: rescued never came up" >&2; cat "$tmp/rescued.out" >&2; exit 1; }
+base="http://$addr"
+
+echo "== fire the smoke population (p99 warm SLO $slo, zero-error floor)"
+gen -base "$base" -slo-p99-warm "$slo" -slo-error-rate 0 -out BENCH_loadtest.json
+
+echo "== BENCH_loadtest.json must carry the full report"
+for field in '"p50_ms"' '"p90_ms"' '"p99_ms"' '"throughput_rps"' '"hit_ratio"' \
+    '"errors"' '"queue_depth_max"' '"schedule_digest"' '"slo"' '"per_kind"'; do
+    grep -q "$field" BENCH_loadtest.json || {
+        echo "FAIL: BENCH_loadtest.json missing $field" >&2
+        cat BENCH_loadtest.json >&2
+        exit 1
+    }
+done
+if ! grep -q "\"schedule_digest\": \"$d1\"" BENCH_loadtest.json; then
+    echo "FAIL: report digest differs from the dry-run schedule digest" >&2
+    exit 1
+fi
+
+echo "== the gate must FAIL under an absurd 1ms SLO"
+if gen -base "$base" -duration 2s -slo-p99-warm 1ms -out "$tmp/tight.json" \
+    -quiet >/dev/null 2>"$tmp/tight.err"; then
+    echo "FAIL: 1ms warm-p99 SLO did not fail the run" >&2
+    exit 1
+fi
+grep -q 'SLO VIOLATION' "$tmp/tight.err" || {
+    echo "FAIL: no SLO VIOLATION message on stderr" >&2
+    cat "$tmp/tight.err" >&2
+    exit 1
+}
+
+echo "== SIGTERM: daemon must drain and exit 0"
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: rescued exited $rc on SIGTERM, want 0" >&2
+    cat "$tmp/rescued.out" >&2
+    exit 1
+fi
+
+echo "PASS: loadtest smoke (deterministic schedule, SLOs enforced both ways, clean drain)"
