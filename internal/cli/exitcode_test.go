@@ -1,11 +1,16 @@
 package cli_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmds compiles the CLI binaries once into a shared temp dir. Flag
@@ -115,6 +120,118 @@ func TestDeadlineExitCodes(t *testing.T) {
 			[]string{"-small", "-timeout=1ns", "-dies", "2"}, 124, "deadline"},
 	}
 	runCases(t, bins, cases)
+}
+
+// TestShardExitCodes pins rescue-shard's flag validation (exit 2 before
+// any pool or flow work) and the deadline path (exit 124). The degraded
+// path — exit 3 after local fallbacks — needs a real campaign against a
+// dead pool and is exercised by scripts/shard-smoke.sh.
+func TestShardExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t, "rescue-shard")
+
+	cases := []exitCase{
+		{"shard no kind", "rescue-shard", []string{"-spawn=2"}, 2, "usage error"},
+		{"shard bad kind", "rescue-shard", []string{"-kind", "nope", "-spawn=2"}, 2, "usage error"},
+		{"shard nested kind", "rescue-shard", []string{"-kind", "shard", "-spawn=2"}, 2, "usage error"},
+		{"shard bad params", "rescue-shard", []string{"-kind", "fab", "-spawn=2", "-params", "{nope"}, 2, "usage error"},
+		{"shard no pool", "rescue-shard", []string{"-kind", "fab"}, 2, "usage error"},
+		{"shard both pools", "rescue-shard", []string{"-kind", "fab", "-spawn=2", "-workers", "http://x"}, 2, "usage error"},
+		{"shard empty worker list", "rescue-shard", []string{"-kind", "fab", "-workers", ","}, 2, "usage error"},
+		{"shard negative spawn", "rescue-shard", []string{"-kind", "fab", "-spawn=-1"}, 2, "usage error"},
+		{"shard chaos without spawn", "rescue-shard", []string{"-kind", "fab", "-workers", "http://x", "-chaos-kill-workers=1"}, 2, "usage error"},
+		{"shard chaos kills more than spawned", "rescue-shard", []string{"-kind", "fab", "-spawn=2", "-chaos-kill-workers=3"}, 2, "usage error"},
+		{"shard negative job workers", "rescue-shard", []string{"-kind", "fab", "-spawn=2", "-job-workers=-1"}, 2, "usage error"},
+		{"shard resume without checkpoint", "rescue-shard", []string{"-kind", "fab", "-spawn=2", "-resume"}, 2, "usage error"},
+		{"shard negative timeout", "rescue-shard", []string{"-kind", "fab", "-spawn=2", "-timeout=-1s"}, 2, "usage error"},
+		{"shard worker negative job workers", "rescue-shard", []string{"-worker", "-job-workers=-1"}, 2, "usage error"},
+		{"shard unknown flag", "rescue-shard", []string{"-no-such-flag"}, 2, ""},
+		{"shard deadline", "rescue-shard",
+			[]string{"-kind", "table3", "-params", `{"small":true}`, "-workers", "http://127.0.0.1:1",
+				"-retry-budget", "1", "-timeout", "1ns", "-quiet"}, 124, "deadline"},
+	}
+	runCases(t, bins, cases)
+}
+
+// TestRescuedDeleteTerminal pins the cancel contract over a real rescued
+// process: DELETE on a live job cancels it (200); DELETE on the now
+// terminal job is refused with 409 — never a 404, never a silent second
+// cancel.
+func TestRescuedDeleteTerminal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t, "rescued")
+
+	cmd := exec.Command(bins["rescued"], "-addr", "127.0.0.1:0", "-quiet")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("rescued never printed its listen address (scan err: %v)", sc.Err())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"table3","params":{"small":true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sn struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil || sn.ID == "" {
+		t.Fatalf("submit: %v (status %d)", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// First DELETE cancels (200). The job then lands in a terminal state,
+	// after which DELETE must answer 409; poll to absorb the transition.
+	del := func() int {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+sn.ID, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(); code != http.StatusOK {
+		t.Fatalf("first DELETE: %d, want 200", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code := del()
+		if code == http.StatusConflict {
+			break
+		}
+		if code != http.StatusOK {
+			t.Fatalf("repeat DELETE: %d, want 200 (still settling) or 409 (terminal)", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached a terminal state after cancel")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 type exitCase struct {

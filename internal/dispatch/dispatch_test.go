@@ -1,0 +1,424 @@
+package dispatch_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rescue/internal/dispatch"
+	"rescue/internal/fault"
+	"rescue/internal/rtl"
+	"rescue/internal/scan"
+	"rescue/internal/serve"
+)
+
+// miniFlow is the test job kind: one small deterministic campaign rendered
+// as a text report. Every execution — coordinator or worker — rebuilds the
+// identical sim and pattern set, so the content-addressed shard keys line
+// up exactly as they would for two rescued processes loading the same
+// design. Registered on the workers (so shard jobs can resolve it) and
+// executed directly by the coordinator under a shard plan.
+func miniFlow(ctx context.Context, rc serve.RunContext, _ json.RawMessage) ([]byte, error) {
+	d, err := rtl.Build(rtl.Small(), rtl.RescueDesign)
+	if err != nil {
+		return nil, err
+	}
+	c, err := scan.Insert(d.N, 1)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(61))
+	var pats []*scan.Pattern
+	for w := 0; w < 2; w++ {
+		p := c.NewPattern(64)
+		for i := range p.FFVals {
+			p.FFVals[i] = r.Uint64()
+		}
+		for i := range p.PIVals {
+			p.PIVals[i] = r.Uint64()
+		}
+		pats = append(pats, p)
+	}
+	sim := fault.NewSim(c, pats)
+	faults := fault.NewUniverse(d.N).Collapsed[:200]
+	camp := fault.NewCampaign(sim, fault.CampaignConfig{Workers: 2})
+	res, st, err := camp.Run(ctx, faults)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	for i, r := range res {
+		fmt.Fprintf(&buf, "%4d %v %d %v\n", i, r.Detected, len(r.Fails), r.FailObs)
+	}
+	fmt.Fprintf(&buf, "faults=%d detected=%d\n", st.Faults, st.Detected)
+	return buf.Bytes(), nil
+}
+
+// newWorker starts one in-process rescued worker that knows the mini kind.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	kinds := serve.Kinds()
+	kinds["mini"] = miniFlow
+	srv := serve.New(serve.Config{Kinds: kinds, Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func workerURLs(servers ...*httptest.Server) []string {
+	urls := make([]string, len(servers))
+	for i, s := range servers {
+		urls[i] = s.URL
+	}
+	return urls
+}
+
+// runCoordinator executes the mini flow locally under the pool's shard
+// plan — the same wiring rescue-shard uses.
+func runCoordinator(t *testing.T, p *dispatch.Pool) []byte {
+	t.Helper()
+	ctx := fault.WithShardPlan(context.Background(), p.Plan())
+	out, err := miniFlow(ctx, serve.RunContext{Workers: 2}, nil)
+	if err != nil {
+		t.Fatalf("coordinator flow: %v", err)
+	}
+	return out
+}
+
+func serialGolden(t *testing.T) []byte {
+	t.Helper()
+	out, err := miniFlow(context.Background(), serve.RunContext{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDispatchDeterminism: the merged distributed result is byte-identical
+// to the serial run at any shard count, with every shard computed remotely.
+func TestDispatchDeterminism(t *testing.T) {
+	want := serialGolden(t)
+	w1, w2, w3 := newWorker(t), newWorker(t), newWorker(t)
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			p, err := dispatch.NewPool(dispatch.Config{
+				Workers:   workerURLs(w1, w2, w3),
+				Flow:      serve.Spec{Kind: "mini"},
+				Shards:    shards,
+				MinFaults: 1,
+				Seed:      42,
+				Logf:      t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			got := runCoordinator(t, p)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("distributed output differs from serial golden at %d shards", shards)
+			}
+			st := p.Stats()
+			if st.Completed != int64(shards) {
+				t.Fatalf("completed %d shards remotely, want %d", st.Completed, shards)
+			}
+			if st.Fallbacks != 0 {
+				t.Fatalf("%d shards fell back locally, want 0", st.Fallbacks)
+			}
+		})
+	}
+}
+
+// TestDispatchChaosKill: a worker killed mid-campaign loses its in-flight
+// shards; the pool reassigns them to survivors and the merged output stays
+// byte-identical to the serial golden.
+func TestDispatchChaosKill(t *testing.T) {
+	want := serialGolden(t)
+	servers := []*httptest.Server{newWorker(t), newWorker(t), newWorker(t)}
+
+	var killMu sync.Mutex
+	killed := map[int]bool{}
+	p, err := dispatch.NewPool(dispatch.Config{
+		Workers:     workerURLs(servers...),
+		Flow:        serve.Spec{Kind: "mini"},
+		Shards:      6,
+		MinFaults:   1,
+		Seed:        7,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffCap:  50 * time.Millisecond,
+		HealthEvery: 50 * time.Millisecond,
+		Logf:        t.Logf,
+		Chaos: dispatch.ChaosConfig{
+			KillWorkers: 1,
+			AfterShards: 1,
+			Kill: func(i int) error {
+				killMu.Lock()
+				defer killMu.Unlock()
+				if !killed[i] {
+					killed[i] = true
+					servers[i].CloseClientConnections()
+					servers[i].Close()
+				}
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got := runCoordinator(t, p)
+	if !bytes.Equal(got, want) {
+		t.Fatal("chaos run output differs from serial golden")
+	}
+	st := p.Stats()
+	if st.Killed != 1 {
+		t.Fatalf("chaos killed %d workers, want 1", st.Killed)
+	}
+	if st.Completed == 0 {
+		t.Fatal("no shards completed remotely")
+	}
+}
+
+// TestDispatchAllWorkersDead: with every worker unreachable the campaign
+// still completes — every shard falls back to local execution and the
+// output matches the serial golden.
+func TestDispatchAllWorkersDead(t *testing.T) {
+	want := serialGolden(t)
+
+	// A freshly released port: connections are refused, not hung.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + l.Addr().String()
+	l.Close()
+
+	p, err := dispatch.NewPool(dispatch.Config{
+		Workers:     []string{dead, dead},
+		Flow:        serve.Spec{Kind: "mini"},
+		Shards:      3,
+		MinFaults:   1,
+		RetryBudget: 1,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		HealthEvery: time.Hour, // never revive mid-test
+		Seed:        1,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got := runCoordinator(t, p)
+	if !bytes.Equal(got, want) {
+		t.Fatal("all-dead fallback output differs from serial golden")
+	}
+	st := p.Stats()
+	if st.Completed != 0 {
+		t.Fatalf("completed %d shards on dead workers", st.Completed)
+	}
+	if st.Fallbacks != 3 {
+		t.Fatalf("%d local fallbacks, want 3", st.Fallbacks)
+	}
+}
+
+// hungWorker fakes a rescued that accepts jobs and then goes silent: the
+// event stream sends headers and nothing else. It reports healthy the
+// whole time — only the heartbeat watchdog can catch it. Records whether
+// the coordinator cancelled the abandoned job.
+type hungWorker struct {
+	ts       *httptest.Server
+	mu       sync.Mutex
+	deleted  []string
+	accepted int
+}
+
+func newHungWorker(t *testing.T) *hungWorker {
+	h := &hungWorker{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		h.mu.Lock()
+		h.accepted++
+		id := fmt.Sprintf("hung-%d", h.accepted)
+		h.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": id})
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodDelete {
+			h.mu.Lock()
+			h.deleted = append(h.deleted, strings.TrimPrefix(r.URL.Path, "/jobs/"))
+			h.mu.Unlock()
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		// The event stream: headers, then silence until the client leaves.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		<-r.Context().Done()
+	})
+	h.ts = httptest.NewServer(mux)
+	t.Cleanup(h.ts.Close)
+	return h
+}
+
+func (h *hungWorker) cancels() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.deleted...)
+}
+
+// TestDispatchHungWorker: a worker that accepts a shard and never emits an
+// event trips the heartbeat watchdog; the coordinator cancels the
+// abandoned job (so its late result is never read), reassigns the shard to
+// a live worker, and the merged output is still byte-identical.
+func TestDispatchHungWorker(t *testing.T) {
+	want := serialGolden(t)
+	hung := newHungWorker(t)
+	live := newWorker(t)
+
+	p, err := dispatch.NewPool(dispatch.Config{
+		Workers:     []string{hung.ts.URL, live.URL},
+		Flow:        serve.Spec{Kind: "mini"},
+		Shards:      2,
+		MinFaults:   1,
+		Heartbeat:   150 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  10 * time.Millisecond,
+		HealthEvery: time.Hour, // the hung worker reports healthy; don't revive it after the watchdog fires
+		Seed:        3,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got := runCoordinator(t, p)
+	if !bytes.Equal(got, want) {
+		t.Fatal("hung-worker run output differs from serial golden")
+	}
+	st := p.Stats()
+	if st.Completed != 2 {
+		t.Fatalf("completed %d shards remotely, want 2", st.Completed)
+	}
+	if st.Retries == 0 {
+		t.Fatal("expected at least one retry after the heartbeat timeout")
+	}
+	if len(hung.cancels()) == 0 {
+		t.Fatal("coordinator never cancelled the abandoned job on the hung worker")
+	}
+}
+
+// TestDispatchBusyWorker: a 429 from a saturated worker is not a failure —
+// the pool honors Retry-After (with jitter), keeps the worker in rotation,
+// and completes once the queue drains.
+func TestDispatchBusyWorker(t *testing.T) {
+	want := serialGolden(t)
+
+	release := make(chan struct{})
+	kinds := serve.Kinds()
+	kinds["mini"] = miniFlow
+	kinds["block"] = func(ctx context.Context, rc serve.RunContext, _ json.RawMessage) ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		case <-release:
+			return []byte("released\n"), nil
+		}
+	}
+	srv := serve.New(serve.Config{Kinds: kinds, Workers: 2, QueueCap: 1, Slots: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Saturate: one blocker holds the slot, a second fills the queue.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"kind":"block"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("blocker %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+
+	p, err := dispatch.NewPool(dispatch.Config{
+		Workers:     []string{ts.URL},
+		Flow:        serve.Spec{Kind: "mini"},
+		Shards:      1,
+		MinFaults:   1,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffCap:  100 * time.Millisecond,
+		RetryBudget: 100,
+		Seed:        9,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Unblock the queue shortly after dispatch starts hitting 429s.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(release)
+	}()
+
+	got := runCoordinator(t, p)
+	if !bytes.Equal(got, want) {
+		t.Fatal("busy-worker run output differs from serial golden")
+	}
+	st := p.Stats()
+	if st.Completed != 1 {
+		t.Fatalf("completed %d shards remotely, want 1", st.Completed)
+	}
+	if st.Retries == 0 {
+		t.Fatal("expected retries while the worker queue was full")
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("%d fallbacks, want 0: 429 must not exhaust the pool", st.Fallbacks)
+	}
+}
+
+// TestDispatchConfigValidation pins the constructor's error cases.
+func TestDispatchConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  dispatch.Config
+	}{
+		{"no workers", dispatch.Config{Flow: serve.Spec{Kind: "mini"}}},
+		{"no flow", dispatch.Config{Workers: []string{"http://x"}}},
+		{"nested shard", dispatch.Config{Workers: []string{"http://x"}, Flow: serve.Spec{Kind: "shard"}}},
+		{"chaos without kill", dispatch.Config{
+			Workers: []string{"http://x"},
+			Flow:    serve.Spec{Kind: "mini"},
+			Chaos:   dispatch.ChaosConfig{KillWorkers: 1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := dispatch.NewPool(tc.cfg); err == nil {
+				t.Fatal("NewPool accepted a bad config")
+			}
+		})
+	}
+}

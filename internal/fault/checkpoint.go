@@ -34,12 +34,18 @@ import (
 	"rescue/internal/netlist"
 )
 
-// ckIdentity pins a journal section to one specific campaign run. Two runs
-// with equal identities are guaranteed to produce identical results, so a
+// CampaignKey pins a journal section to one specific campaign run. Two runs
+// with equal keys are guaranteed to produce identical results, so a
 // section recorded by one can be rehydrated by the other. Any mismatch
 // (different seed, design, pattern set, worker-independent config) is
 // detected and refused instead of silently resuming the wrong work.
-type ckIdentity struct {
+//
+// The key is also the unit of distribution: a shard job names the campaign
+// it computes a window of by CampaignKey, and the coordinator accepts a
+// shard result only when the worker derived the same key from its own
+// re-execution of the flow — content addressing doubling as an end-to-end
+// integrity check (see shard.go).
+type CampaignKey struct {
 	NFaults        int    `json:"nFaults"`
 	FaultsDigest   string `json:"faultsDigest"`
 	WLo            int    `json:"wLo"`
@@ -50,7 +56,7 @@ type ckIdentity struct {
 }
 
 // campaignIdentity digests the inputs that determine a run's results.
-func campaignIdentity(core *simCore, faults []netlist.Fault, wLo, wHi int, cfg CampaignConfig) ckIdentity {
+func campaignIdentity(core *simCore, faults []netlist.Fault, wLo, wHi int, cfg CampaignConfig) CampaignKey {
 	fh := fnv.New64a()
 	var buf [8]byte
 	writeInt := func(v int64) {
@@ -84,7 +90,7 @@ func campaignIdentity(core *simCore, faults []netlist.Fault, wLo, wHi int, cfg C
 			writeIntP(int64(v))
 		}
 	}
-	return ckIdentity{
+	return CampaignKey{
 		NFaults:        len(faults),
 		FaultsDigest:   faultsDigest,
 		WLo:            wLo,
@@ -105,7 +111,7 @@ type ckRange struct {
 // ckSection is the journal of one campaign run.
 type ckSection struct {
 	mu     sync.Mutex
-	id     ckIdentity
+	id     CampaignKey
 	ranges []ckRange
 }
 
@@ -244,7 +250,7 @@ type ckLine struct {
 	V       *int            `json:"v,omitempty"`
 	Kind    string          `json:"kind,omitempty"`
 	Section *int            `json:"section,omitempty"`
-	ID      *ckIdentity     `json:"id,omitempty"`
+	ID      *CampaignKey    `json:"id,omitempty"`
 	Lo      int             `json:"lo"`
 	Hi      int             `json:"hi"`
 	Digest  string          `json:"digest,omitempty"`
@@ -316,7 +322,7 @@ func (ck *Checkpoint) read(r io.Reader) error {
 // section binds the next campaign run of the flow to its journal section.
 // A loaded section must match the run's identity exactly; divergence means
 // the flow was re-run with different inputs and resuming would be wrong.
-func (ck *Checkpoint) section(id ckIdentity) (*ckSection, error) {
+func (ck *Checkpoint) section(id CampaignKey) (*ckSection, error) {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	if ck.cursor < len(ck.sections) {

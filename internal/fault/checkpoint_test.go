@@ -1,7 +1,9 @@
 package fault
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -203,6 +205,222 @@ func TestCheckpointCorruption(t *testing.T) {
 		}
 		if len(ck.sections) != 0 {
 			t.Fatal("missing journal produced sections")
+		}
+	})
+}
+
+// twoSectionJournal runs two checkpointed campaigns against one journal and
+// returns its path, the inputs, and the serialized golden results of each
+// campaign for byte-identity comparisons.
+func twoSectionJournal(t *testing.T) (path string, sim *Sim, u *Universe, want1, want2 []byte) {
+	t.Helper()
+	sim, u = rescueSim(t, 2, 61)
+	path = filepath.Join(t.TempDir(), "two.journal")
+	ck := NewCheckpoint(path)
+	camp := NewCampaign(sim, CampaignConfig{Workers: 2})
+	res1, _, err := camp.RunCheckpoint(context.Background(), ck, u.Collapsed[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := camp.RunCheckpoint(context.Background(), ck, u.Collapsed[200:260])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, sim, u, mustJSON(t, res1), mustJSON(t, res2)
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// journalBlocks splits a journal into its header line and one block of
+// lines per section (the section line plus its range lines).
+func journalBlocks(t *testing.T, raw []byte) (header string, blocks [][]string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		var ln ckLine
+		if err := json.Unmarshal([]byte(line), &ln); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		switch {
+		case ln.V != nil:
+			header = line
+		case ln.ID != nil:
+			blocks = append(blocks, []string{line})
+		default:
+			if len(blocks) == 0 {
+				t.Fatalf("range line before any section: %q", line)
+			}
+			blocks[len(blocks)-1] = append(blocks[len(blocks)-1], line)
+		}
+	}
+	if header == "" || len(blocks) == 0 {
+		t.Fatalf("journal missing header or sections:\n%s", raw)
+	}
+	return header, blocks
+}
+
+// renumber rewrites a section line's ordinal and (optionally) mutates its
+// id, returning the block with the edited first line.
+func renumber(t *testing.T, block []string, n int, mutate func(*CampaignKey)) []string {
+	t.Helper()
+	var ln ckLine
+	if err := json.Unmarshal([]byte(block[0]), &ln); err != nil || ln.ID == nil {
+		t.Fatalf("block does not start with a section line: %q (%v)", block[0], err)
+	}
+	ln.Section = &n
+	if mutate != nil {
+		mutate(ln.ID)
+	}
+	b, err := json.Marshal(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]string{string(b)}, block[1:]...)
+	return out
+}
+
+func writeJournal(t *testing.T, header string, blocks ...[]string) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(header + "\n")
+	for _, b := range blocks {
+		sb.WriteString(strings.Join(b, "\n") + "\n")
+	}
+	p := filepath.Join(t.TempDir(), "edited.journal")
+	if err := os.WriteFile(p, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// resumeBoth replays the two-campaign flow against a loaded journal in
+// content-addressed mode and returns each campaign's serialized results
+// plus rehydration counts.
+func resumeBoth(t *testing.T, path string, sim *Sim, u *Universe) (got1, got2 []byte, re1, re2 int64) {
+	t.Helper()
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("edited journal failed to load: %v", err)
+	}
+	ck.ContentAddressed()
+	camp := NewCampaign(sim, CampaignConfig{Workers: 2})
+	res1, st1, err := camp.RunCheckpoint(context.Background(), ck, u.Collapsed[:200])
+	if err != nil {
+		t.Fatalf("campaign 1 resume: %v", err)
+	}
+	res2, st2, err := camp.RunCheckpoint(context.Background(), ck, u.Collapsed[200:260])
+	if err != nil {
+		t.Fatalf("campaign 2 resume: %v", err)
+	}
+	return mustJSON(t, res1), mustJSON(t, res2), st1.Rehydrated, st2.Rehydrated
+}
+
+// TestCheckpointFlexibleJournals pins ContentAddressed against journals
+// whose physical layout diverged from the flow order: sections reordered
+// on disk, a foreign section spliced between the real ones, and a journal
+// truncated mid-record or at a record boundary. In every case the resume
+// must either restore byte-identical results or fail loudly — never merge
+// wrong data quietly.
+func TestCheckpointFlexibleJournals(t *testing.T) {
+	path, sim, u, want1, want2 := twoSectionJournal(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, blocks := journalBlocks(t, raw)
+	if len(blocks) != 2 {
+		t.Fatalf("journal has %d sections, want 2", len(blocks))
+	}
+
+	t.Run("reordered-sections", func(t *testing.T) {
+		// Swap the two section blocks (renumbered so the file itself stays
+		// well-formed) — the layout a warm-cache drain leaves behind.
+		p := writeJournal(t, header,
+			renumber(t, blocks[1], 0, nil),
+			renumber(t, blocks[0], 1, nil))
+
+		// Strict mode must refuse: the section at the cursor belongs to the
+		// other campaign.
+		ck, err := LoadCheckpoint(p)
+		if err != nil {
+			t.Fatalf("reordered journal failed to load: %v", err)
+		}
+		camp := NewCampaign(sim, CampaignConfig{Workers: 2})
+		if _, _, err := camp.RunCheckpoint(context.Background(), ck, u.Collapsed[:200]); err == nil ||
+			!strings.Contains(err.Error(), "different run") {
+			t.Fatalf("strict resume of reordered journal returned %v, want identity-mismatch error", err)
+		}
+
+		// Content-addressed mode finds both sections by identity.
+		got1, got2, re1, re2 := resumeBoth(t, p, sim, u)
+		if re1 != 200 || re2 != 60 {
+			t.Fatalf("rehydrated %d/%d, want 200/60", re1, re2)
+		}
+		if !bytes.Equal(got1, want1) || !bytes.Equal(got2, want2) {
+			t.Fatal("reordered resume diverged from golden results")
+		}
+	})
+
+	t.Run("foreign-section-interleaved", func(t *testing.T) {
+		// A section journaled by some other run (different fault-list
+		// digest) sits between the two real ones. Its records are
+		// internally consistent — only the identity says it is not ours —
+		// so matching by position would rehydrate the wrong results.
+		p := writeJournal(t, header,
+			renumber(t, blocks[0], 0, nil),
+			renumber(t, blocks[0], 1, func(id *CampaignKey) { id.FaultsDigest = "00000000deadbeef" }),
+			renumber(t, blocks[1], 2, nil))
+
+		got1, got2, re1, re2 := resumeBoth(t, p, sim, u)
+		if re1 != 200 || re2 != 60 {
+			t.Fatalf("rehydrated %d/%d, want 200/60", re1, re2)
+		}
+		if !bytes.Equal(got1, want1) || !bytes.Equal(got2, want2) {
+			t.Fatal("resume with foreign section diverged from golden results")
+		}
+	})
+
+	t.Run("truncated-mid-record", func(t *testing.T) {
+		// Cut into the middle of the final record — the shape a crash
+		// mid-write would leave if Flush were not atomic. Loading must fail
+		// loudly, never deliver a partial section.
+		lastStart := bytes.LastIndexByte(bytes.TrimRight(raw, "\n"), '\n') + 1
+		cut := lastStart + (len(raw)-lastStart)/2
+		p := filepath.Join(t.TempDir(), "torn.journal")
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(p); err == nil {
+			t.Fatal("journal with torn final record loaded")
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Fatalf("torn-record error does not name the line: %v", err)
+		}
+	})
+
+	t.Run("truncated-at-boundary", func(t *testing.T) {
+		// Drop the final record cleanly at its line boundary: the journal
+		// still loads, the missing range is simply re-simulated, and the
+		// merged results are byte-identical to the untruncated run.
+		lastStart := bytes.LastIndexByte(bytes.TrimRight(raw, "\n"), '\n') + 1
+		p := filepath.Join(t.TempDir(), "short.journal")
+		if err := os.WriteFile(p, raw[:lastStart], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got1, got2, re1, re2 := resumeBoth(t, p, sim, u)
+		if re1 != 200 {
+			t.Fatalf("campaign 1 rehydrated %d, want 200", re1)
+		}
+		if re2 >= 60 {
+			t.Fatalf("campaign 2 rehydrated %d despite its record being truncated away", re2)
+		}
+		if !bytes.Equal(got1, want1) || !bytes.Equal(got2, want2) {
+			t.Fatal("truncated-journal resume diverged from golden results")
 		}
 	})
 }

@@ -147,6 +147,11 @@ type Schedule struct {
 	Requests []Request
 	// Canonical maps kind -> the warm-identity POST body.
 	Canonical map[string]json.RawMessage
+	// Seeds holds each client's derived arrival seed. The firing loop
+	// reuses it to jitter 429 backoff deterministically per request, so two
+	// runs of one schedule back off identically. Excluded from Digest —
+	// the seeds are derived state, not workload identity.
+	Seeds []int64
 }
 
 // affinity is how much of a client's kind mix concentrates on its
@@ -199,6 +204,7 @@ func Build(cfg Config) (*Schedule, error) {
 		})
 		seeds[i] = rng.Int63()
 	}
+	sch.Seeds = seeds
 
 	for i, p := range cfg.Profiles {
 		body, err := specBody(p.Kind, p.Params)

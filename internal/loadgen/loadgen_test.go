@@ -187,3 +187,55 @@ func TestBuildValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleSeeds pins the arrival-seed export added for backoff
+// jitter: Seeds is one derived seed per client, deterministic across
+// builds, and explicitly excluded from the schedule digest — exposing the
+// seeds must not invalidate existing recorded digests.
+func TestScheduleSeeds(t *testing.T) {
+	a, err := Build(testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Seeds) != len(a.Clients) {
+		t.Fatalf("%d seeds for %d clients", len(a.Seeds), len(a.Clients))
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed %d differs across identical builds: %d vs %d", i, a.Seeds[i], b.Seeds[i])
+		}
+	}
+	before := a.Digest()
+	a.Seeds = nil
+	if after := a.Digest(); after != before {
+		t.Fatalf("digest depends on Seeds: %s vs %s", before, after)
+	}
+}
+
+// TestJitterSeedDerivation: every request gets its own deterministic
+// jitter seed from its client's arrival seed, and hand-built schedules
+// without Seeds still work.
+func TestJitterSeedDerivation(t *testing.T) {
+	sch, err := Build(testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Requests) < 2 {
+		t.Fatal("schedule too small")
+	}
+	r0, r1 := sch.Requests[0], sch.Requests[1]
+	if sch.jitterSeed(r0) != sch.Seeds[r0.Client]+int64(r0.Seq) {
+		t.Fatal("jitter seed not derived from the client's arrival seed")
+	}
+	if sch.jitterSeed(r0) == sch.jitterSeed(r1) {
+		t.Fatalf("requests %d and %d share a jitter seed", r0.Seq, r1.Seq)
+	}
+	bare := &Schedule{}
+	if got := bare.jitterSeed(Request{Seq: 5, Client: 3}); got != 5 {
+		t.Fatalf("seedless schedule jitter seed = %d, want the sequence number 5", got)
+	}
+}

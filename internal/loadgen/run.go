@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -107,7 +108,8 @@ func Run(ctx context.Context, sch *Schedule, opts Options) (*RunStats, error) {
 	if opts.Prewarm {
 		t0 := time.Now()
 		for _, kind := range canonicalKinds(sch) {
-			rr := fire(ctx, client, opts, Request{Kind: kind, Body: sch.Canonical[kind], Warm: true})
+			req := Request{Kind: kind, Body: sch.Canonical[kind], Warm: true}
+			rr := fire(ctx, client, opts, req, sch.jitterSeed(req))
 			if !rr.OK() {
 				return nil, fmt.Errorf("loadgen: prewarm %s: state %s %s", kind, rr.State, rr.Err)
 			}
@@ -164,7 +166,7 @@ func Run(ctx context.Context, sch *Schedule, opts Options) (*RunStats, error) {
 		wg.Add(1)
 		go func(i int, req Request) {
 			defer wg.Done()
-			st.Results[i] = fire(ctx, client, opts, req)
+			st.Results[i] = fire(ctx, client, opts, req, sch.jitterSeed(req))
 		}(i, req)
 	}
 	wg.Wait()
@@ -198,14 +200,28 @@ func canonicalKinds(sch *Schedule) []string {
 	return kinds
 }
 
+// jitterSeed derives the deterministic backoff-jitter seed for one
+// request: the owning client's arrival seed offset by the request's
+// sequence number, so every request jitters differently but identically
+// across runs of the same schedule. Hand-built schedules without Seeds
+// fall back to the sequence number alone.
+func (s *Schedule) jitterSeed(req Request) int64 {
+	if req.Client < len(s.Seeds) {
+		return s.Seeds[req.Client] + int64(req.Seq)
+	}
+	return int64(req.Seq)
+}
+
 // fire drives one request's lifecycle: submit (with 429 backoff honoring
-// Retry-After), then stream events until the job goes terminal.
-func fire(ctx context.Context, client *http.Client, opts Options, req Request) RequestResult {
+// Retry-After plus seeded jitter), then stream events until the job goes
+// terminal.
+func fire(ctx context.Context, client *http.Client, opts Options, req Request, jitterSeed int64) RequestResult {
 	rr := RequestResult{Seq: req.Seq, Client: req.Client, Kind: req.Kind, Warm: req.Warm}
 	ctx, cancel := context.WithTimeout(ctx, opts.RequestTimeout)
 	defer cancel()
 	t0 := time.Now()
 
+	var jrng *rand.Rand // lazily seeded; most requests never hit a 429
 	id := ""
 	for attempt := 0; ; attempt++ {
 		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
@@ -244,7 +260,14 @@ func fire(ctx context.Context, client *http.Client, opts Options, req Request) R
 			return rr
 		}
 		rr.Retries++
+		if jrng == nil {
+			jrng = rand.New(rand.NewSource(jitterSeed))
+		}
 		wait := backoff(retryAfter, opts.RetryCap)
+		// Seeded jitter in [0, wait/2]: a thundering herd that got the same
+		// Retry-After estimate spreads out instead of resubmitting in
+		// lockstep, and the spread replays identically run to run.
+		wait += time.Duration(jrng.Int63n(int64(wait)/2 + 1))
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():

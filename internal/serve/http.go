@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"rescue/internal/obs"
 )
@@ -18,7 +20,8 @@ import (
 //	GET    /jobs/{id}         one job's snapshot
 //	GET    /jobs/{id}/result  the finished report (text/plain)
 //	GET    /jobs/{id}/events  NDJSON event stream: replay, then live until done
-//	DELETE /jobs/{id}         cancel a queued or running job
+//	GET    /jobs/{id}/journal the job's checkpoint journal (NDJSON), if any
+//	DELETE /jobs/{id}         cancel a queued or running job; 409 if already terminal
 //	GET    /metrics           obs text format
 //	GET    /healthz           200 ok / 503 draining
 //	/debug/pprof/...          net/http/pprof
@@ -99,15 +102,45 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	case sub == "" && r.Method == http.MethodGet:
 		writeJSON(w, http.StatusOK, j.snapshot())
 	case sub == "" && r.Method == http.MethodDelete:
+		// A cancel racing a job that already reached a terminal state is a
+		// conflict, not a lookup miss: the job exists, its outcome is just
+		// no longer negotiable. 409 lets coordinators distinguish "too
+		// late" (result may be worth fetching) from "never existed".
+		if sn := j.snapshot(); sn.State.Done() {
+			writeErr(w, http.StatusConflict, "job %s already %s; cancel has no effect", id, sn.State)
+			return
+		}
 		s.Cancel(id)
 		writeJSON(w, http.StatusOK, j.snapshot())
 	case sub == "result" && r.Method == http.MethodGet:
 		s.handleResult(w, j)
 	case sub == "events" && r.Method == http.MethodGet:
 		s.handleEvents(w, r, j)
+	case sub == "journal" && r.Method == http.MethodGet:
+		s.handleJournal(w, j)
 	default:
 		writeErr(w, http.StatusNotFound, "no route /jobs/%s/%s", id, sub)
 	}
+}
+
+// handleJournal exports the job's checkpoint journal — the digest-sealed
+// record of its campaigns' completed fault ranges. Interrupted jobs are the
+// interesting case: the journal is what an identical resubmission (or an
+// external coordinator) resumes from. Succeeded jobs have consumed and
+// removed theirs.
+func (s *Server) handleJournal(w http.ResponseWriter, j *Job) {
+	path := j.journalPath()
+	if path == "" {
+		writeErr(w, http.StatusNotFound, "job %s has no checkpoint journal (checkpointing disabled)", j.ID)
+		return
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "job %s journal unavailable: %v", j.ID, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(b)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, j *Job) {
@@ -124,14 +157,24 @@ func (s *Server) handleResult(w http.ResponseWriter, j *Job) {
 	w.Write(out)
 }
 
+// keepaliveEvery is the idle interval after which handleEvents emits a
+// synthetic keepalive line (not part of the job's event log, seq 0). Long
+// quiet stretches — a job waiting in the queue, a flow building artifacts
+// before its first campaign — would otherwise be indistinguishable from a
+// dead server to a streaming client with a liveness timeout, such as the
+// dispatch coordinator's heartbeat watchdog.
+const keepaliveEvery = 10 * time.Second
+
 // handleEvents streams the job's event log as NDJSON: everything so far,
 // then live appends until the job reaches a terminal state or the client
-// goes away. Each line is one Event.
+// goes away. Each line is one Event; idle periods carry keepalives.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	idle := time.NewTimer(keepaliveEvery)
+	defer idle.Stop()
 	after := 0
 	for {
 		evs, state, changed := j.eventsSince(after)
@@ -151,8 +194,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 			}
 			continue
 		}
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(keepaliveEvery)
 		select {
 		case <-changed:
+		case <-idle.C:
+			if err := enc.Encode(Event{Type: "keepalive", Time: time.Now()}); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
 		case <-r.Context().Done():
 			return
 		}

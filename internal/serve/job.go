@@ -76,7 +76,26 @@ type Job struct {
 	startedAt  time.Time
 	finishedAt time.Time
 
+	// ckPath is the job's checkpoint journal on disk, "" when
+	// checkpointing is off. Exported over GET /jobs/{id}/journal so a
+	// coordinator can salvage an interrupted job's completed chunks.
+	ckPath string
+
 	cancel func(error) // context cancellation with cause; set when scheduled
+}
+
+// setCkPath records the job's journal location once the runner opens it.
+func (j *Job) setCkPath(path string) {
+	j.mu.Lock()
+	j.ckPath = path
+	j.mu.Unlock()
+}
+
+// journalPath returns the job's journal location, if any.
+func (j *Job) journalPath() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ckPath
 }
 
 func newJob(id string, spec Spec) *Job {

@@ -345,6 +345,7 @@ func (s *Server) runJob(j *Job) {
 		s.mFailed.Inc()
 		return
 	}
+	j.setCkPath(ckPath)
 
 	out, runErr := runner(ctx, RunContext{
 		Env:     flows.Env{Store: s.store, Ck: ck},

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"rescue/internal/fault"
+)
+
+// shardParams is the wire shape of a shard job: the flow both sides run,
+// the content identity of the campaign to intercept, and the fault-index
+// window to compute. The worker re-executes the flow until it reaches the
+// campaign whose derived CampaignKey equals Key — a worker whose inputs
+// diverged (different binary, different flow params) simply never claims
+// the target and the job fails instead of returning wrong results.
+type shardParams struct {
+	Flow Spec              `json:"flow"`
+	Key  fault.CampaignKey `json:"key"`
+	Lo   int               `json:"lo"`
+	Hi   int               `json:"hi"`
+}
+
+// ShardSpec builds the job spec a coordinator submits to compute one shard
+// of a campaign: fault indices [lo, hi) of the campaign identified by key
+// inside flow. It is the one place the shard wire format lives.
+func ShardSpec(flow Spec, key fault.CampaignKey, lo, hi int) (Spec, error) {
+	params, err := json.Marshal(shardParams{Flow: flow, Key: key, Lo: lo, Hi: hi})
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{Kind: "shard", Params: params}, nil
+}
+
+// shardRunner executes shard jobs against the given kind registry: run the
+// inner flow under a shard target and return the sealed window as JSON.
+// The inner flow's own report is discarded — the shard's output IS the
+// ShardResult.
+func shardRunner(kinds map[string]Runner) Runner {
+	return func(ctx context.Context, rc RunContext, params json.RawMessage) ([]byte, error) {
+		var p shardParams
+		if err := decode(params, &p); err != nil {
+			return nil, err
+		}
+		if p.Flow.Kind == "shard" {
+			return nil, fmt.Errorf("bad params: shard flows do not nest")
+		}
+		inner, ok := kinds[p.Flow.Kind]
+		if !ok {
+			return nil, fmt.Errorf("bad params: unknown flow kind %q", p.Flow.Kind)
+		}
+		if p.Lo < 0 || p.Hi <= p.Lo || p.Hi > p.Key.NFaults {
+			return nil, fmt.Errorf("bad params: shard window [%d,%d) invalid for %d faults", p.Lo, p.Hi, p.Key.NFaults)
+		}
+		sctx, res := fault.WithShardTarget(ctx, p.Key, p.Lo, p.Hi)
+		_, err := inner(sctx, rc, p.Flow.Params)
+		switch {
+		case errors.Is(err, fault.ErrShardDone):
+			if verr := res.Verify(); verr != nil {
+				return nil, verr
+			}
+			return json.Marshal(res)
+		case err == nil:
+			// The flow ran to completion without any campaign matching the
+			// key: coordinator and worker disagree about the flow's inputs.
+			return nil, fmt.Errorf("shard: flow %q never reached the target campaign (key %+v)", p.Flow.Kind, p.Key)
+		default:
+			return nil, err
+		}
+	}
+}

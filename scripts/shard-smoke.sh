@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for rescue-shard distributed campaign dispatch:
+#
+#   1. build rescue-shard
+#   2. clean run: small Table 3 ATPG sharded across 3 spawned workers —
+#      stdout must be byte-identical to the committed single-node golden,
+#      with every shard computed remotely and exit code 0
+#   3. chaos run: small fab flow across 3 workers with one worker
+#      SIGKILLed mid-campaign — the coordinator must reassign its shards
+#      and still merge byte-identically to the golden, exit 0
+#   4. dead-pool run: every worker URL refuses connections — the
+#      coordinator must degrade to local execution, still produce
+#      byte-identical output, print a "degraded" notice, and exit 3
+#
+# Usage: scripts/shard-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmp/rescue-shard" ./cmd/rescue-shard
+
+# remote_shards FILE — the completed-remotely count from a coordinator's
+# dispatch stats line on stderr.
+remote_shards() {
+    sed -n 's/^dispatch: \([0-9][0-9]*\) shards completed remotely.*/\1/p' "$1"
+}
+
+echo "== clean run: table3 small across 3 spawned workers"
+"$tmp/rescue-shard" -kind table3 -params '{"small":true}' \
+    -spawn 3 -min-faults 32 -seed 5 \
+    >"$tmp/table3.txt" 2>"$tmp/table3.err"
+diff -u results/table3_small.txt "$tmp/table3.txt"
+n=$(remote_shards "$tmp/table3.err")
+if [ -z "$n" ] || [ "$n" -lt 1 ]; then
+    echo "FAIL: clean run completed ${n:-no} shards remotely, want >= 1" >&2
+    cat "$tmp/table3.err" >&2
+    exit 1
+fi
+echo "   $n shards completed remotely"
+
+echo "== chaos run: fab small across 3 workers, 1 killed mid-campaign"
+"$tmp/rescue-shard" -kind fab -params '{"small":true,"dies":2000}' \
+    -spawn 3 -chaos-kill-workers 1 -chaos-after-shards 2 -seed 11 \
+    >"$tmp/fab.txt" 2>"$tmp/fab.err"
+diff -u results/fab_small.txt "$tmp/fab.txt"
+killed=$(sed -n 's/^dispatch: .* \([0-9][0-9]*\) workers killed$/\1/p' "$tmp/fab.err")
+if [ "${killed:-0}" -ne 1 ]; then
+    echo "FAIL: chaos run killed ${killed:-no} workers, want exactly 1" >&2
+    cat "$tmp/fab.err" >&2
+    exit 1
+fi
+n=$(remote_shards "$tmp/fab.err")
+if [ -z "$n" ] || [ "$n" -lt 1 ]; then
+    echo "FAIL: chaos run completed ${n:-no} shards remotely, want >= 1" >&2
+    cat "$tmp/fab.err" >&2
+    exit 1
+fi
+echo "   $n shards completed remotely, $killed worker killed, output byte-identical"
+
+echo "== dead-pool run: every worker refuses connections; must degrade to local"
+rc=0
+"$tmp/rescue-shard" -kind table3 -params '{"small":true}' \
+    -workers http://127.0.0.1:1 -retry-budget 1 -seed 5 \
+    >"$tmp/degraded.txt" 2>"$tmp/degraded.err" || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: dead-pool run exited $rc, want 3 (degraded)" >&2
+    cat "$tmp/degraded.err" >&2
+    exit 1
+fi
+grep -q '^degraded:' "$tmp/degraded.err" || {
+    echo "FAIL: dead-pool run printed no degraded notice" >&2
+    cat "$tmp/degraded.err" >&2
+    exit 1
+}
+diff -u results/table3_small.txt "$tmp/degraded.txt"
+echo "   local fallback byte-identical, exit 3"
+
+echo "PASS: shard smoke (clean + chaos + dead-pool all byte-identical)"
