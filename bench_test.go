@@ -322,6 +322,7 @@ func BenchmarkFaultSimulation(b *testing.B) {
 	c, _ := scan.Insert(d.N, 1)
 	u := fault.NewUniverse(d.N)
 	g := atpg.Generate(c, u, atpg.DefaultGenConfig())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := u.Collapsed[i%len(u.Collapsed)]
@@ -332,8 +333,9 @@ func BenchmarkFaultSimulation(b *testing.B) {
 // campaignFixture caches the expensive ATPG setup shared by the campaign
 // benchmarks.
 var campaignFixture struct {
-	sim *fault.Sim
-	u   *fault.Universe
+	sim     *fault.Sim
+	fullSim *fault.Sim // same chain + patterns, cone clipping disabled
+	u       *fault.Universe
 }
 
 func campaignSetup(b *testing.B) (*fault.Sim, *fault.Universe) {
@@ -347,6 +349,7 @@ func campaignSetup(b *testing.B) (*fault.Sim, *fault.Universe) {
 		u := fault.NewUniverse(d.N)
 		g := atpg.Generate(c, u, atpg.DefaultGenConfig())
 		campaignFixture.sim = g.Sim
+		campaignFixture.fullSim = fault.NewSimCone(c, g.Sim.Patterns, 0)
 		campaignFixture.u = u
 	}
 	return campaignFixture.sim, campaignFixture.u
@@ -360,7 +363,20 @@ func BenchmarkFaultCampaign(b *testing.B) {
 	sim, u := campaignSetup(b)
 	faults := u.Collapsed
 
+	// The same sweep through the forced full-netlist walk (cone threshold
+	// 0) — the reference engine and the denominator of the clipping
+	// speedup that scripts/bench-sim.sh gates on.
+	b.Run("full-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, f := range faults {
+				campaignFixture.fullSim.Run(f, 1)
+			}
+		}
+		b.ReportMetric(float64(len(faults)), "faults/op")
+	})
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, f := range faults {
 				sim.Run(f, 1)
@@ -374,6 +390,7 @@ func BenchmarkFaultCampaign(b *testing.B) {
 	}
 	for _, w := range workerCounts {
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			camp := fault.NewCampaign(sim, fault.CampaignConfig{Workers: w, Drop: true})
 			var st fault.Stats
 			for i := 0; i < b.N; i++ {
@@ -397,6 +414,7 @@ func BenchmarkFaultCampaign(b *testing.B) {
 			name = "progress-on"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := fault.CampaignConfig{Workers: 2, Drop: true}
 			var last int64
 			if hooked {

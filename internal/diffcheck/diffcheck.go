@@ -19,7 +19,12 @@
 //	P6  union-of-failing-bits isolation is sound: with k random faults
 //	    injected at once, every super-component the diagnosis reports
 //	    contains an injected fault, or the die is flagged undiagnosable
-//	    (chipkill) — never a confident misdiagnosis.
+//	    (chipkill) — never a confident misdiagnosis;
+//	P7  cone clipping is invisible: the default cone-clipped engine, a
+//	    forced full-walk engine (threshold 0), and a threshold-2 engine
+//	    where most cones overflow back to the full walk all produce
+//	    byte-identical full Results and agree on capped detection, for
+//	    every uncollapsed fault.
 //
 // A seed fully names a circuit and stimuli, so any reported failure is
 // replayable with `rescue-diffcheck -seed N` and shrinkable to a minimal
@@ -192,6 +197,31 @@ func CheckConfig(ctx context.Context, cfg netlist.RandomConfig, opt Options) err
 				return fmt.Errorf("P2 campaign workers=%d drop: fault %v detected=%v, serial %v",
 					w, u.All[i], dres[i].Detected, serial[i].Detected)
 			}
+		}
+	}
+
+	// P7: the cone-clipped walk is an invisible optimization. Three
+	// engines over the same chain and patterns: the default build (serial
+	// above, cones at DefaultConeThreshold), a forced full walk
+	// (threshold 0, the reference algorithm), and a threshold-2 build
+	// that drives most nets through the overflow fallback so clipped and
+	// full walks interleave within one engine. Full Results must be
+	// byte-identical and capped detection must agree everywhere.
+	fullSim := fault.NewSimCone(c, pats, 0)
+	lowSim := fault.NewSimCone(c, pats, 2)
+	for i, f := range u.All {
+		if got := fullSim.Run(f, 0); !reflect.DeepEqual(got, serial[i]) {
+			return fmt.Errorf("P7 cone: fault %v:\n  full-walk %+v\n  clipped   %+v", f, got, serial[i])
+		}
+		if got := lowSim.Run(f, 0); !reflect.DeepEqual(got, serial[i]) {
+			return fmt.Errorf("P7 cone: fault %v:\n  threshold-2 %+v\n  clipped     %+v", f, got, serial[i])
+		}
+	}
+	for _, f := range u.Collapsed {
+		full, low, def := fullSim.Run(f, 1), lowSim.Run(f, 1), sim.Run(f, 1)
+		if full.Detected != def.Detected || low.Detected != def.Detected {
+			return fmt.Errorf("P7 cone: fault %v capped: clipped=%v full-walk=%v threshold-2=%v",
+				f, def.Detected, full.Detected, low.Detected)
 		}
 	}
 

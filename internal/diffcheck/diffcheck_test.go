@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rescue/internal/netlist"
 )
 
 // testOptions keeps per-seed work small so the unit tests stay fast; the
@@ -26,6 +28,56 @@ func TestCheckSeeds(t *testing.T) {
 	for seed := uint64(0); seed < seeds; seed++ {
 		if err := CheckSeed(context.Background(), seed, testOptions()); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestConeCornerCircuits pins property P7 on the circuit shapes most
+// likely to break cone clipping: FF feedback (a Q net feeding combinational
+// logic, so fault cones start at pseudo-inputs and end at D-net capture
+// without ever crossing the FF) and Q-as-primary-output (an observation
+// point sitting directly on a fault's seed net with no gate in between).
+// The seeds are found structurally, so the test fails loudly if the
+// generator ever stops producing these corners instead of silently
+// checking nothing.
+func TestConeCornerCircuits(t *testing.T) {
+	var ffFeedback, qAsPO []uint64
+	for seed := uint64(0); seed < 300 && (len(ffFeedback) < 3 || len(qAsPO) < 3); seed++ {
+		n := netlist.Random(ConfigForSeed(seed))
+		qnet := map[netlist.NetID]bool{}
+		for _, ff := range n.FFs {
+			qnet[ff.Q] = true
+		}
+		feedback := false
+		for _, g := range n.Gates {
+			for _, in := range g.In {
+				if qnet[in] {
+					feedback = true
+				}
+			}
+		}
+		po := false
+		for _, out := range n.Outputs {
+			if qnet[out] {
+				po = true
+			}
+		}
+		if feedback && len(ffFeedback) < 3 {
+			ffFeedback = append(ffFeedback, seed)
+		}
+		if po && len(qAsPO) < 3 {
+			qAsPO = append(qAsPO, seed)
+		}
+	}
+	if len(ffFeedback) == 0 {
+		t.Fatal("no FF-feedback circuit in the first 300 seeds — generator changed shape?")
+	}
+	if len(qAsPO) == 0 {
+		t.Fatal("no Q-as-PO circuit in the first 300 seeds — generator changed shape?")
+	}
+	for _, seed := range append(append([]uint64(nil), ffFeedback...), qAsPO...) {
+		if err := CheckSeed(context.Background(), seed, testOptions()); err != nil {
+			t.Fatalf("corner seed %d: %v", seed, err)
 		}
 	}
 }

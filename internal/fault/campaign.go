@@ -125,19 +125,19 @@ type CampaignConfig struct {
 }
 
 // Campaign shards a fault list across workers that share one read-only
-// simCore (good-machine images, levels, readers, obs map) while each owns
-// a private simScratch, so no synchronization touches the hot loop.
-// Results are always ordered by fault index and bit-identical to the
-// serial path regardless of worker count.
+// simCore (good-machine images, cones, SoA gate arrays, obs map) while
+// each owns a private simScratch, so no synchronization touches the hot
+// loop. Results are always ordered by fault index and bit-identical to
+// the serial path regardless of worker count.
 //
-// A Campaign reuses its per-worker scratch state across runs, so create it
-// once and call Run/RunWords repeatedly. Calls must not overlap: an atomic
-// in-use guard rejects a second concurrent run with ErrCampaignBusy. The
-// underlying Sim's pattern set must not grow during a run.
+// Worker scratches come from a grow-only pool on the simCore, shared by
+// every campaign over the same simulator, so steady-state runs allocate
+// no scratch state at all. Calls must not overlap: an atomic in-use guard
+// rejects a second concurrent run with ErrCampaignBusy. The underlying
+// Sim's pattern set must not grow during a run.
 type Campaign struct {
 	cfg   CampaignConfig
 	core  *simCore
-	scr   []*simScratch
 	inUse atomic.Bool
 }
 
@@ -246,11 +246,8 @@ func (c *Campaign) run(ctx context.Context, ck *Checkpoint, faults []netlist.Fau
 		return out, st, context.Cause(ctx)
 	}
 
-	for len(c.scr) < workers {
-		scr := &simScratch{}
-		scr.init(c.core)
-		c.scr = append(c.scr, scr)
-	}
+	scrs := c.core.acquireScratch(workers)
+	defer c.core.releaseScratch(scrs)
 	// Coordinator path: fan this campaign's pending ranges out to remote
 	// workers first. Shards that fail to dispatch stay pending and the
 	// local worker pool below picks them up — local fallback is the default
@@ -268,7 +265,6 @@ func (c *Campaign) run(ctx context.Context, ck *Checkpoint, faults []netlist.Fau
 	}
 
 	q := newChunkQueue(len(faults), workers, c.cfg.Chunk)
-	nWords := int64(wHi - wLo)
 	perWorker := make([]Stats, workers)
 
 	runCtx, cancel := context.WithCancelCause(ctx)
@@ -304,7 +300,7 @@ func (c *Campaign) run(ctx context.Context, ck *Checkpoint, faults []netlist.Fau
 					cancel(&PanicError{FaultIndex: cur, Value: r, Stack: debug.Stack()})
 				}
 			}()
-			scr := c.scr[w]
+			scr := scrs[w]
 			wst := &perWorker[w]
 			words0, events0 := scr.words, scr.events
 			for {
@@ -322,28 +318,7 @@ func (c *Campaign) run(ctx context.Context, ck *Checkpoint, faults []netlist.Fau
 				if !ok {
 					break
 				}
-				fresh := 0
-				for i := lo; i < hi; i++ {
-					if done != nil && done[i] {
-						continue
-					}
-					fresh++
-					cur = i
-					if campaignSimHook != nil {
-						campaignSimHook(i)
-					}
-					chaosSims.Add(1)
-					before := scr.words
-					out[i] = c.core.run(scr, faults[i], c.cfg.MaxFail, wLo, wHi)
-					wst.Faults++
-					if out[i].Detected {
-						wst.Detected++
-					}
-					if c.cfg.MaxFail > 0 {
-						wst.Dropped += nWords - (scr.words - before)
-					}
-				}
-				cur = -1
+				fresh := c.simChunk(scr, faults, out, done, lo, hi, wLo, wHi, wst, &cur)
 				if sec != nil {
 					sec.record(lo, hi, out, done)
 				}
@@ -413,13 +388,9 @@ func (c *Campaign) runWindow(ctx context.Context, res *ShardResult, faults []net
 	if err := ctx.Err(); err != nil {
 		return out, st, context.Cause(ctx)
 	}
-	for len(c.scr) < workers {
-		scr := &simScratch{}
-		scr.init(c.core)
-		c.scr = append(c.scr, scr)
-	}
+	scrs := c.core.acquireScratch(workers)
+	defer c.core.releaseScratch(scrs)
 	q := newChunkQueue(n, workers, c.cfg.Chunk)
-	nWords := int64(wHi - wLo)
 	perWorker := make([]Stats, workers)
 
 	runCtx, cancel := context.WithCancelCause(ctx)
@@ -436,7 +407,7 @@ func (c *Campaign) runWindow(ctx context.Context, res *ShardResult, faults []net
 					cancel(&PanicError{FaultIndex: cur, Value: r, Stack: debug.Stack()})
 				}
 			}()
-			scr := c.scr[w]
+			scr := scrs[w]
 			wst := &perWorker[w]
 			words0, events0 := scr.words, scr.events
 			for {
@@ -451,23 +422,7 @@ func (c *Campaign) runWindow(ctx context.Context, res *ShardResult, faults []net
 				if !ok {
 					break
 				}
-				for i := lo + wlo; i < lo+whi; i++ {
-					cur = i
-					if campaignSimHook != nil {
-						campaignSimHook(i)
-					}
-					chaosSims.Add(1)
-					before := scr.words
-					out[i] = c.core.run(scr, faults[i], c.cfg.MaxFail, wLo, wHi)
-					wst.Faults++
-					if out[i].Detected {
-						wst.Detected++
-					}
-					if c.cfg.MaxFail > 0 {
-						wst.Dropped += nWords - (scr.words - before)
-					}
-				}
-				cur = -1
+				c.simChunk(scr, faults, out, nil, lo+wlo, lo+whi, wLo, wHi, wst, &cur)
 				if progress != nil {
 					progress(progressDone.Add(int64(whi-wlo)), total)
 				}
@@ -496,6 +451,139 @@ func (c *Campaign) runWindow(ctx context.Context, res *ShardResult, faults []net
 	res.Stats = st
 	res.seal()
 	return out, st, ErrShardDone
+}
+
+// tileState carries one fault's accumulated result across the word tiles
+// of the batched campaign path.
+type tileState struct {
+	idx   int // index into the run's fault slice
+	f     netlist.Fault
+	res   Result
+	words int64 // (fault, word) pairs actually simulated so far
+}
+
+// wordTileSize is the pattern-word batch the tiled campaign path feeds
+// each in-flight fault before moving to the next fault of the chunk. One
+// excitation-index block (64 words) per window: each simWords call then
+// reads exactly one excitation word per fault, the per-window prologue
+// (seed resolution, excitation-row slicing) is paid once per block, and
+// a chunk of faults still streams over the same good-image rows while
+// they are cache-hot.
+const wordTileSize = 64
+
+// simChunk simulates fault indices [lo, hi) into out, skipping entries
+// marked done, and returns the number of freshly simulated faults. With
+// MaxFail == 1 (detection-only mode, the ATPG/fab workhorse) and a
+// multi-word window it takes the pattern×fault tiled path; every other
+// configuration runs each fault's full word range in one call. cur tracks
+// the in-flight fault index for the worker's panic recovery.
+func (c *Campaign) simChunk(scr *simScratch, faults []netlist.Fault, out []Result,
+	done []bool, lo, hi, wLo, wHi int, wst *Stats, cur *int) int {
+
+	maxFail := c.cfg.MaxFail
+	if maxFail == 1 && wHi-wLo > 1 {
+		return c.simChunkTiled(scr, faults, out, done, lo, hi, wLo, wHi, wst, cur)
+	}
+	nWords := int64(wHi - wLo)
+	fresh := 0
+	for i := lo; i < hi; i++ {
+		if done != nil && done[i] {
+			continue
+		}
+		fresh++
+		*cur = i
+		if campaignSimHook != nil {
+			campaignSimHook(i)
+		}
+		chaosSims.Add(1)
+		before := scr.words
+		out[i] = c.core.run(scr, faults[i], maxFail, wLo, wHi)
+		wst.Faults++
+		if out[i].Detected {
+			wst.Detected++
+		}
+		if maxFail > 0 {
+			wst.Dropped += nWords - (scr.words - before)
+		}
+	}
+	*cur = -1
+	return fresh
+}
+
+// simChunkTiled is simChunk's word-major variant: the chunk's pending
+// faults advance through the pattern set wordTileSize words at a time, so
+// one tile's good-machine images are reused across every fault of the
+// chunk before the next tile is touched. Valid only for MaxFail == 1,
+// where it is result-identical to the fault-major order: a capped fault's
+// entire failure content comes from its single capping word (simulated in
+// exactly one tile call), and an uncapped fault accumulates nothing, so
+// splitting a fault's word range across beginFault epochs cannot change
+// any Result. Faults drop out of the tile set the moment they cap, which
+// is what makes drop-mode campaigns word-order sensitive to begin with —
+// the per-fault words simulated (and Stats.Dropped) match the fault-major
+// path exactly.
+func (c *Campaign) simChunkTiled(scr *simScratch, faults []netlist.Fault, out []Result,
+	done []bool, lo, hi, wLo, wHi int, wst *Stats, cur *int) int {
+
+	nWords := int64(wHi - wLo)
+	tiles := scr.tiles[:0]
+	for i := lo; i < hi; i++ {
+		if done != nil && done[i] {
+			continue
+		}
+		*cur = i
+		if campaignSimHook != nil {
+			campaignSimHook(i)
+		}
+		chaosSims.Add(1)
+		tiles = append(tiles, tileState{idx: i, f: faults[i]})
+	}
+	*cur = -1
+	fresh := len(tiles)
+	for w := wLo; w < wHi && len(tiles) > 0; w += wordTileSize {
+		tw := w + wordTileSize
+		if tw > wHi {
+			tw = wHi
+		}
+		keep := tiles[:0]
+		for ti := range tiles {
+			t := &tiles[ti]
+			*cur = t.idx
+			words0 := scr.words
+			c.core.beginFault(scr)
+			capped := c.core.simWords(scr, t.f, &t.res, 1, w, tw)
+			t.words += scr.words - words0
+			if capped {
+				out[t.idx] = t.res
+				wst.Faults++
+				if t.res.Detected {
+					wst.Detected++
+				}
+				wst.Dropped += nWords - t.words
+			} else {
+				keep = append(keep, *t)
+			}
+		}
+		*cur = -1
+		tiles = keep
+	}
+	for ti := range tiles {
+		t := &tiles[ti]
+		out[t.idx] = t.res
+		wst.Faults++
+		if t.res.Detected {
+			wst.Detected++
+		}
+		wst.Dropped += nWords - t.words
+	}
+	// Scrub the reusable tile arena so finished Results don't stay
+	// reachable through the scratch between runs.
+	tiles = tiles[:cap(tiles)]
+	for ti := range tiles {
+		tiles[ti] = tileState{}
+	}
+	scr.tiles = tiles[:0]
+	return fresh
 }
 
 // chunkQueue is a work-stealing dispatch queue over fault indices [0, n):

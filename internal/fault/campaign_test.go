@@ -161,6 +161,57 @@ func TestCampaignDropSkipsWords(t *testing.T) {
 	}
 }
 
+// TestCampaignTilingManyWords drives the word-tiled drop-mode path across
+// several 64-word windows (70 patterns → two windows per in-flight fault)
+// and demands exact agreement with the serial path: detection, full
+// Results in isolation mode, and the Words/Dropped accounting identity.
+func TestCampaignTilingManyWords(t *testing.T) {
+	sim, u := rescueSim(t, 70, 99)
+	faults := u.Collapsed
+	if testing.Short() {
+		faults = faults[:len(faults)/8]
+	}
+	serialDet := make([]bool, len(faults))
+	for i, f := range faults {
+		serialDet[i] = sim.Run(f, 1).Detected
+	}
+
+	for _, workers := range []int{1, 3} {
+		camp := NewCampaign(sim, CampaignConfig{Workers: workers, Drop: true})
+		res, st := mustRun(t, camp, faults)
+		for i := range res {
+			if res[i].Detected != serialDet[i] {
+				t.Fatalf("workers=%d fault %d (%v): tiled detected=%v, serial %v",
+					workers, i, faults[i], res[i].Detected, serialDet[i])
+			}
+		}
+		nWords := int64(len(sim.Patterns))
+		if st.Words+st.Dropped != int64(len(faults))*nWords {
+			t.Fatalf("workers=%d: words(%d) + dropped(%d) != faults(%d) × words(%d)",
+				workers, st.Words, st.Dropped, len(faults), nWords)
+		}
+	}
+
+	// Isolation mode (untiled reference inside the same campaign engine)
+	// must agree byte-for-byte too; a slice of the universe keeps the
+	// uncapped 70-word sweeps affordable.
+	isoFaults := faults
+	if len(isoFaults) > 2000 {
+		isoFaults = isoFaults[:2000]
+	}
+	ref := make([]Result, len(isoFaults))
+	for i, f := range isoFaults {
+		ref[i] = sim.Run(f, 0)
+	}
+	camp := NewCampaign(sim, CampaignConfig{Workers: 2})
+	res, _ := mustRun(t, camp, isoFaults)
+	for i := range res {
+		if !reflect.DeepEqual(res[i], ref[i]) {
+			t.Fatalf("fault %d (%v): campaign %+v != serial %+v", i, isoFaults[i], res[i], ref[i])
+		}
+	}
+}
+
 // TestCampaignRunWords pins the word-restricted campaign (the ATPG
 // dropWord path) against serial RunWord.
 func TestCampaignRunWords(t *testing.T) {

@@ -117,12 +117,12 @@ func TestShardPlanFallback(t *testing.T) {
 
 	t.Run("partial", func(t *testing.T) {
 		var fellBack atomic.Int64
-		fail := true
+		var calls atomic.Int64
 		plan := &ShardPlan{
 			Exec: func(ctx context.Context, key CampaignKey, lo, hi int) (*ShardResult, error) {
-				// Alternate failures across the four shards.
-				fail = !fail
-				if fail {
+				// Fail half the shards; Exec runs concurrently across the
+				// dispatch goroutines, so the toggle must be atomic.
+				if calls.Add(1)%2 == 0 {
 					return nil, errors.New("worker died")
 				}
 				return execVia(sim, u, 200, CampaignConfig{Workers: 1})(ctx, key, lo, hi)

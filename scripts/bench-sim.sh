@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Fault-simulation speedup gate: run the Table 3 coverage sweep (18,866
+# collapsed faults × 50 pattern words) through the cone-clipped engine and
+# through the forced full-netlist walk (cone threshold 0 — the pre-PR
+# algorithm on the rewritten SoA substrate), and enforce that the total
+# speedup over the pre-PR engine stays at or above the floor.
+#
+# Total speedup = engine factor × clip ratio, where
+#   engine factor = pre-PR serial ns / reference full-walk ns — frozen
+#     below, both sides measured back-to-back on one machine, so the
+#     ratio (how much the SoA/arena rewrite sped up the full walk itself)
+#     transfers across machines;
+#   clip ratio = full-serial ns / serial ns — re-measured in-build here,
+#     so the gate tracks the clipped path against its own reference on
+#     whatever machine runs it.
+#
+# Emits BENCH_sim.json with the trajectory (pre-PR baselines, measured
+# numbers, both factors).
+#
+# Usage: scripts/bench-sim.sh [min total speedup]   (default: 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+min_speedup=${1:-5}
+
+# Frozen baselines, measured back-to-back on 2026-08-08 (Xeon @2.10GHz):
+# the pre-PR engine's serial sweep, and this PR's full-walk engine on the
+# identical workload.
+pre_pr_serial_ns=25914187
+pre_pr_workers1_ns=29419475
+pre_pr_serial_allocs=118576
+ref_full_serial_ns=12891162
+
+echo "== bench (best of 3)"
+out=$(go test -run '^$' -bench 'BenchmarkFaultCampaign/(full-serial|serial|workers-1)$' -benchtime=10x -count=3 .)
+echo "$out"
+
+full=$(echo "$out" | awk '$1 ~ /full-serial/ {if (!m || $3 < m) m = $3} END {print m}')
+serial=$(echo "$out" | awk '$1 ~ /Campaign\/serial/ {if (!m || $3 < m) m = $3} END {print m}')
+w1=$(echo "$out" | awk '$1 ~ /workers-1/ {if (!m || $3 < m) m = $3} END {print m}')
+allocs=$(echo "$out" | awk '$1 ~ /Campaign\/serial/ {for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") {print $i; exit}}')
+for v in "$full" "$serial" "$w1"; do
+    [ -n "$v" ] || { echo "FAIL: could not parse benchmark output" >&2; exit 1; }
+done
+
+read -r engine clip total <<<"$(awk -v pre="$pre_pr_serial_ns" -v ref="$ref_full_serial_ns" \
+    -v f="$full" -v s="$serial" \
+    'BEGIN { e = pre / ref; c = f / s; printf "%.3f %.3f %.3f", e, c, e * c }')"
+
+printf '{"bench":"fault_campaign_small","faults":18866,\n "pre_pr":{"serial_ns":%d,"workers1_ns":%d,"serial_allocs":%d},\n "reference_full_serial_ns":%d,\n "measured":{"full_serial_ns":%d,"serial_ns":%d,"workers1_ns":%d,"serial_allocs":%s},\n "engine_factor":%s,"clip_ratio":%s,"total_speedup":%s,"min_speedup":%s}\n' \
+    "$pre_pr_serial_ns" "$pre_pr_workers1_ns" "$pre_pr_serial_allocs" \
+    "$ref_full_serial_ns" "$full" "$serial" "$w1" "${allocs:-0}" \
+    "$engine" "$clip" "$total" "$min_speedup" >BENCH_sim.json
+cat BENCH_sim.json
+
+awk -v t="$total" -v m="$min_speedup" 'BEGIN { exit !(t + 0 >= m + 0) }' || {
+    echo "FAIL: total speedup ${total}x < required ${min_speedup}x (engine ${engine}x × clip ${clip}x)" >&2
+    exit 1
+}
+echo "PASS: fault sweep ${total}x faster than pre-PR engine (engine ${engine}x × clip ${clip}x >= ${min_speedup}x)"

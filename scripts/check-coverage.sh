@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Per-package statement-coverage floors for the packages the differential
 # verification subsystem is supposed to keep honest. Floors are set a few
-# points under the current numbers (fault 91.9%, netlist 84.5% when this
+# points under the current numbers (fault 93.3%, netlist 84.5% when this
 # was written) so they catch real regressions, not noise.
 #
 # Usage: scripts/check-coverage.sh
@@ -9,7 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 declare -A floor=(
-  [./internal/fault]=88.0
+  [./internal/fault]=90.0
   [./internal/netlist]=80.0
 )
 

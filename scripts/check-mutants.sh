@@ -1,47 +1,94 @@
 #!/usr/bin/env bash
-# Mutation check for the differential verification harness: inject a
-# handful of hand-picked single-line mutants into the event-driven fault
-# simulator and require that the sim-vs-oracle harness catches every one.
-# A surviving mutant means the harness has a blind spot — the build fails.
+# Mutation check for the fault-simulation verification net: inject
+# hand-picked single-line mutants into the simulator hot path — the cone
+# builder, the clipped and full event walks, the excitation-skip index,
+# the epoch arena, and the campaign word tiler — and require that the
+# differential harness or the targeted unit tests catch every one. A
+# surviving mutant means the net has a blind spot — the build fails.
 #
-# Each mutant is a sed substitution against internal/fault/sim.go, chosen
-# to break a distinct mechanism:
-#   1 off-by-one: drop the last level bucket from propagation
-#   2 inverted epoch guard: re-seed already-seeded observation points
-#   3 inverted lane mask: observe only the padding lanes of short words
-#   4 inverted event filter: propagate only *unchanged* gate outputs
-#   5 wrong stuck polarity: stuck-at-1 injects a single-lane constant
+# Each mutant is a sed substitution against one internal/fault source
+# file, chosen to break a distinct mechanism:
+#    1 sim.go      off-by-one: drop the last level bucket from the full walk
+#    2 sim.go      inverted obs-epoch guard: FailObs dedup records nothing
+#    3 sim.go      inverted lane mask: clipped path observes only padding lanes
+#    4 sim.go      inverted event filter: full walk propagates only unchanged outputs
+#    5 sim.go      wrong stuck polarity: stuck-at-1 injects a single-lane constant
+#    6 cone.go     threshold comparison flip: exactly-threshold cones overflow
+#    7 cone.go     level-sort comparator flip: cone schedule evaluates gates
+#                  before their feeders
+#    8 cone.go     downstream-obs flag forced false: clipped propagation never
+#                  leaves the seed net
+#    9 sim.go      reader CSR off-by-one: clipped walk skips the seed net's
+#                  first reading gate
+#   10 sim.go      SoA index transposition: good-image read flips net-major
+#                  to word-major
+#   11 sim.go      excitation polarity swap on the per-net rows
+#   12 sim.go      excitation row swap on the exact per-pin flip rows
+#   13 sim.go      epoch-overflow reset guard disabled
+#   14 sim.go      arena epoch-clear skip: reset rewinds counters but leaves
+#                  stale marks
+#   15 campaign.go tiled path skips beginFault: obs dedup bleeds across faults
+#   16 campaign.go tiled keep-list dropped: faults undetected in the first
+#                  word tile are never finished
+#
+# Catchers, in order: the sim-vs-oracle differential harness (fast, runs
+# first), then the unit tests targeting the cone/epoch/tiling/excitation
+# machinery for mutants whose Results stay byte-identical (6, 13, 14) or
+# that need low-lane patterns to discriminate (11, 12).
 #
 # Usage: scripts/check-mutants.sh [seed range, default 0:40]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 range="${1:-0:40}"
-target=internal/fault/sim.go
+dir=internal/fault
+files=(sim.go cone.go campaign.go)
+unit_run='Cone|Epoch|Tiling|Excitation|Drop|Overflow|Determinism'
 
+# target file|sed substitution
 mutants=(
-  's/for lv := int32(0); lv <= c.maxLevel \&\& !capped; lv++/for lv := int32(0); lv < c.maxLevel \&\& !capped; lv++/'
-  's/if scr.obsEp\[oi\] != scr.runEp {/if scr.obsEp[oi] == scr.runEp {/'
-  's/if diff := (faulty ^ c.goodResp\[w\]\[oi\]) \& mask; diff != 0 {/if diff := (faulty ^ c.goodResp[w][oi]) \&^ mask; diff != 0 {/'
-  's/if (v^good\[g.Out\])\&mask == 0 {/if (v^good[g.Out])\&mask != 0 {/'
-  's/stuckWord = \^uint64(0)/stuckWord = 1/'
+  'sim.go|s/for lv := int32(0); lv <= c.maxLevel \&\& !capped; lv++/for lv := int32(0); lv < c.maxLevel \&\& !capped; lv++/'
+  'sim.go|s/if scr.obsEp\[oi\] != scr.runEp {/if scr.obsEp[oi] == scr.runEp {/'
+  'sim.go|s/(faulty ^ c.goodRespT\[int(oi)\*st+w\]) \& mask/(faulty ^ c.goodRespT[int(oi)*st+w]) \&^ mask/'
+  'sim.go|s/if (v^good\[out\])\&mask == 0 {/if (v^good[out])\&mask != 0 {/'
+  'sim.go|s/stuckWord = \^uint64(0)/stuckWord = 1/'
+  'cone.go|s/if len(gbuf) > threshold {/if len(gbuf) >= threshold {/'
+  'cone.go|s/return c.level\[gbuf\[i\]\] < c.level\[gbuf\[j\]\]/return c.level[gbuf[i]] > c.level[gbuf[j]]/'
+  'cone.go|s/c.coneDownObs\[net\] = down/c.coneDownObs[net] = down \&\& false/'
+  'sim.go|s/for j := c.rdrOff\[seedNet\]; j < c.rdrOff\[seedNet+1\]; j++ {/for j := c.rdrOff[seedNet] + 1; j < c.rdrOff[seedNet+1]; j++ {/'
+  'sim.go|s/return c.goodT\[int(in)\*st+w\]/return c.goodT[int(in)+st*w]/'
+  'sim.go|s/exRow = c.exNetHas0\[/exRow = c.exNetHas1[/'
+  'sim.go|s/exRow = c.exPinFlip1\[/exRow = c.exPinFlip0[/'
+  'sim.go|s/if scr.curEp >= epochResetLimit || scr.runEp >= epochResetLimit {/if false {/'
+  'sim.go|s/for i := range scr.slab {/for i := range scr.slab[:0] {/'
+  'campaign.go|s/c.core.beginFault(scr)/scr.runEp += 0/'
+  'campaign.go|s/keep = append(keep, \*t)/_ = t/'
 )
 
 tmp=$(mktemp -d)
-cp "$target" "$tmp/sim.go.orig"
-trap 'cp "$tmp/sim.go.orig" "$target"; rm -rf "$tmp"' EXIT
+for f in "${files[@]}"; do
+    cp "$dir/$f" "$tmp/$f.orig"
+done
+restore() {
+    for f in "${files[@]}"; do
+        cp "$tmp/$f.orig" "$dir/$f"
+    done
+}
+trap 'restore; rm -rf "$tmp"' EXIT
 
-echo "== baseline: harness must pass on unmutated code"
+echo "== baseline: both catchers must pass on unmutated code"
 go build -o "$tmp/rescue-diffcheck" ./cmd/rescue-diffcheck
 "$tmp/rescue-diffcheck" -seeds "$range" -workers 1,2 > /dev/null
+go test -count=1 -run "$unit_run" ./internal/fault > /dev/null
 
 fail=0
 for i in "${!mutants[@]}"; do
-    m=${mutants[$i]}
-    cp "$tmp/sim.go.orig" "$target"
-    sed -i "$m" "$target"
-    if cmp -s "$tmp/sim.go.orig" "$target"; then
-        echo "FAIL: mutant $((i + 1)) did not apply — sim.go drifted from the sed anchors" >&2
+    target=${mutants[$i]%%|*}
+    m=${mutants[$i]#*|}
+    restore
+    sed -i "$m" "$dir/$target"
+    if cmp -s "$tmp/$target.orig" "$dir/$target"; then
+        echo "FAIL: mutant $((i + 1)) did not apply — $target drifted from the sed anchor" >&2
         fail=1
         continue
     fi
@@ -51,16 +98,20 @@ for i in "${!mutants[@]}"; do
         fail=1
         continue
     fi
-    if "$tmp/rescue-diffcheck" -seeds "$range" -workers 1,2 > "$tmp/out.txt" 2>&1; then
-        echo "FAIL: mutant $((i + 1)) SURVIVED the differential harness:" >&2
-        echo "  $m" >&2
-        fail=1
-    else
-        echo "ok: mutant $((i + 1)) caught"
+    if ! "$tmp/rescue-diffcheck" -seeds "$range" -workers 1,2 > "$tmp/out.txt" 2>&1; then
+        echo "ok: mutant $((i + 1)) caught by the differential harness"
+        continue
     fi
+    if ! go test -count=1 -run "$unit_run" ./internal/fault > "$tmp/out.txt" 2>&1; then
+        echo "ok: mutant $((i + 1)) caught by the unit tests"
+        continue
+    fi
+    echo "FAIL: mutant $((i + 1)) SURVIVED both catchers:" >&2
+    echo "  $target: $m" >&2
+    fail=1
 done
 
-cp "$tmp/sim.go.orig" "$target"
+restore
 if [ "$fail" -ne 0 ]; then
     echo "mutation check FAILED" >&2
     exit 1
