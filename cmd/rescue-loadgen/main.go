@@ -18,13 +18,27 @@
 // above -slo-p99-warm or an error rate above -slo-error-rate exits 1 —
 // the CI regression gate.
 //
+// Multi-tenant runs: -tenant/-class tag every request (headers, not
+// bodies — artifact identities are untouched); -slow-readers N turns the
+// first N requests into late-replaying consumers that count the server's
+// bounded-buffer drop markers; -scenario noisy-neighbor replaces the
+// plain run with the canned fairness experiment — a warm victim tenant
+// measured solo, then under an aggressor flood against the fair daemon
+// at -base, and optionally against a -fair=false daemon at -base-unfair,
+// which must demonstrably violate the fairness budget. A fairness
+// violation exits 1 like an SLO violation.
+//
 // Usage:
 //
 //	rescue-loadgen -base http://127.0.0.1:8321 [-seed N] [-clients N]
 //	    [-duration D] [-rps R] [-skew S] [-hit-ratio H]
 //	    [-burst-frac F] [-burst-len L] [-mix kind=w,kind=w,...]
+//	    [-tenant name] [-class interactive|batch] [-slow-readers N]
 //	    [-prewarm] [-out file] [-slo-p99-warm D] [-slo-error-rate R]
 //	    [-max-retries N] [-retry-cap D] [-timeout D] [-dry-run]
+//	rescue-loadgen -scenario noisy-neighbor -base URL [-base-unfair URL]
+//	    [-victim-rps R] [-aggressor-mult M] [-fairness-bound B]
+//	    [-fairness-floor D] [-duration D] [-seed N] [-out file]
 package main
 
 import (
@@ -60,8 +74,72 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall run deadline")
 	dryRun := flag.Bool("dry-run", false, "print the compiled schedule as NDJSON (plus its digest) and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	tenant := flag.String("tenant", "", "tenant identity for every request (X-Rescue-Client; empty = untagged)")
+	class := flag.String("class", "", "priority class for every request: interactive or batch (empty = server default)")
+	slowReaders := flag.Int("slow-readers", 0, "first N requests replay their event stream only after the job finishes, counting drop markers")
+	slowReadDelay := flag.Duration("slow-read-delay", 0, "slow readers' poll interval (0 = 50ms)")
+	scenario := flag.String("scenario", "", "canned scenario instead of a plain run: noisy-neighbor")
+	baseUnfair := flag.String("base-unfair", "", "noisy-neighbor: base URL of a -fair=false daemon for the control leg")
+	victimRPS := flag.Float64("victim-rps", 0, "noisy-neighbor: victim arrival rate (0 = 2)")
+	aggressorMult := flag.Float64("aggressor-mult", 0, "noisy-neighbor: aggressor rate as a multiple of the victim's (0 = 15)")
+	fairnessBound := flag.Float64("fairness-bound", 0, "noisy-neighbor: allowed victim warm-p99 degradation multiple over solo (0 = 3)")
+	fairnessFloor := flag.Duration("fairness-floor", 0, "noisy-neighbor: absolute lower bound on the fair budget (0 = 250ms)")
 	flag.Parse()
 	cli.CheckTimeout(*timeout)
+
+	if *class != "" && *class != "interactive" && *class != "batch" {
+		cli.Usagef("-class must be interactive or batch, got %q", *class)
+	}
+	if *slowReaders < 0 {
+		cli.Usagef("-slow-readers must be >= 0, got %d", *slowReaders)
+	}
+	if *scenario != "" && *scenario != "noisy-neighbor" {
+		cli.Usagef("unknown -scenario %q (have: noisy-neighbor)", *scenario)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	opts := loadgen.Options{
+		BaseURL:       *base,
+		Prewarm:       *prewarm,
+		MaxRetries:    *maxRetries,
+		RetryCap:      *retryCap,
+		SlowReaders:   *slowReaders,
+		SlowReadDelay: *slowReadDelay,
+		Logf:          logf,
+	}
+
+	if *scenario == "noisy-neighbor" {
+		if *base == "" {
+			cli.Usagef("-base is required for -scenario noisy-neighbor")
+		}
+		ctx, cancel := cli.FlowContext(*timeout)
+		defer cancel()
+		report, err := loadgen.RunNoisyNeighbor(ctx, loadgen.NoisyNeighborConfig{
+			Seed:          *seed,
+			Duration:      *duration,
+			VictimRPS:     *victimRPS,
+			AggressorMult: *aggressorMult,
+			Bound:         *fairnessBound,
+			FloorMS:       float64(*fairnessFloor) / float64(time.Millisecond),
+		}, opts, *baseUnfair)
+		if err != nil {
+			cli.ExitErr(err)
+		}
+		writeReport(report, *out)
+		report.WriteSummary(os.Stdout)
+		if len(report.Fairness.Violations) > 0 {
+			for _, v := range report.Fairness.Violations {
+				fmt.Fprintf(os.Stderr, "FAIRNESS VIOLATION: %s\n", v)
+			}
+			os.Exit(cli.ExitRuntime)
+		}
+		return
+	}
 
 	profiles, err := mixProfiles(*mix)
 	if err != nil {
@@ -77,6 +155,8 @@ func main() {
 		BurstFrac: *burstFrac,
 		BurstLen:  *burstLen,
 		Profiles:  profiles,
+		Tenant:    *tenant,
+		Class:     *class,
 	}
 	sch, err := loadgen.Build(cfg)
 	if err != nil {
@@ -98,45 +178,39 @@ func main() {
 		cli.Usagef("-base is required (or use -dry-run)")
 	}
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
-	}
-	if *quiet {
-		logf = nil
-	}
 	ctx, cancel := cli.FlowContext(*timeout)
 	defer cancel()
-	stats, err := loadgen.Run(ctx, sch, loadgen.Options{
-		BaseURL:    *base,
-		Prewarm:    *prewarm,
-		MaxRetries: *maxRetries,
-		RetryCap:   *retryCap,
-		Logf:       logf,
-	})
+	stats, err := loadgen.Run(ctx, sch, opts)
 	if err != nil {
 		cli.ExitErr(err)
 	}
 
 	report := loadgen.BuildReport(cfg, sch, stats)
 	violations := report.CheckSLOs(*sloP99Warm, *sloErrRate)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			cli.Fatalf("%v", err)
-		}
-		if err := report.WriteJSON(f); err != nil {
-			cli.Fatalf("write %s: %v", *out, err)
-		}
-		if err := f.Close(); err != nil {
-			cli.Fatalf("close %s: %v", *out, err)
-		}
-	}
+	writeReport(report, *out)
 	report.WriteSummary(os.Stdout)
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintf(os.Stderr, "SLO VIOLATION: %s\n", v)
 		}
 		os.Exit(cli.ExitRuntime)
+	}
+}
+
+// writeReport lands the machine-readable report at path ("" = skip).
+func writeReport(report *loadgen.Report, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+	if err := report.WriteJSON(f); err != nil {
+		cli.Fatalf("write %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		cli.Fatalf("close %s: %v", path, err)
 	}
 }
 

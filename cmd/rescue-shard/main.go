@@ -62,6 +62,7 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 30*time.Second, "max event-stream silence before a worker counts as hung")
 		jobWorkers = flag.Int("job-workers", 0, "campaign workers inside each shard job and locally (0 = all cores)")
 		seed       = flag.Int64("seed", 1, "seed for retry jitter and chaos victim choice")
+		tenant     = flag.String("tenant", "", "tenant tag for dispatched shard jobs (X-Rescue-Client on workers)")
 		timeout    = flag.Duration("timeout", 0, "overall deadline (0 = none; exit 124 when exceeded)")
 		ckPath     = flag.String("checkpoint", "", "campaign checkpoint journal for the local run (empty = off)")
 		resume     = flag.Bool("resume", false, "resume from an existing -checkpoint journal")
@@ -81,7 +82,7 @@ func main() {
 		shards: *shards, minFaults: *minFaults, budget: *budget,
 		heartbeat: *heartbeat, jobWorkers: *jobWorkers, seed: *seed,
 		timeout: *timeout, ckPath: *ckPath, resume: *resume, quiet: *quiet,
-		chaosKill: *chaosKill, chaosAfter: *chaosAfter,
+		chaosKill: *chaosKill, chaosAfter: *chaosAfter, tenant: *tenant,
 	})
 }
 
@@ -132,6 +133,7 @@ type coordConfig struct {
 	resume                   bool
 	quiet                    bool
 	chaosKill, chaosAfter    int
+	tenant                   string
 }
 
 func runCoordinator(cfg coordConfig) {
@@ -142,6 +144,9 @@ func runCoordinator(cfg coordConfig) {
 	}
 	if cfg.params != "" && !json.Valid([]byte(cfg.params)) {
 		cli.Usagef("-params is not valid JSON: %s", cfg.params)
+	}
+	if _, err := serve.TenantName(cfg.tenant); err != nil {
+		cli.Usagef("-tenant: %v", err)
 	}
 	if (cfg.workersCSV == "") == (cfg.spawn == 0) {
 		cli.Usagef("need exactly one of -workers or -spawn")
@@ -194,6 +199,7 @@ func runCoordinator(cfg coordConfig) {
 		RetryBudget: cfg.budget,
 		Heartbeat:   cfg.heartbeat,
 		Seed:        cfg.seed,
+		Tenant:      cfg.tenant,
 		Logf:        logf,
 		Chaos: dispatch.ChaosConfig{
 			KillWorkers: cfg.chaosKill,

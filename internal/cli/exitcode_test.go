@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -77,7 +78,7 @@ func TestServeExitCodes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")
 	}
-	bins := buildCmds(t, "rescued")
+	bins := buildCmds(t, "rescued", "rescue-loadgen")
 
 	cases := []exitCase{
 		{"rescued negative workers", "rescued", []string{"-workers=-1"}, 2, "usage error"},
@@ -85,8 +86,131 @@ func TestServeExitCodes(t *testing.T) {
 		{"rescued zero slots", "rescued", []string{"-slots=0"}, 2, "usage error"},
 		{"rescued zero drain timeout", "rescued", []string{"-drain-timeout=0s"}, 2, "usage error"},
 		{"rescued unknown flag", "rescued", []string{"-no-such-flag"}, 2, ""},
+		{"rescued zero tenant weight", "rescued", []string{"-tenant-weights=a=0"}, 2, "usage error"},
+		{"rescued malformed tenant weights", "rescued", []string{"-tenant-weights=a"}, 2, "usage error"},
+		{"rescued bad tenant name in weights", "rescued", []string{"-tenant-weights=bad name=2"}, 2, "usage error"},
+		{"rescued negative tenant queue cap", "rescued", []string{"-tenant-queue-cap=-1"}, 2, "usage error"},
+		{"rescued negative per-tenant inflight", "rescued", []string{"-max-inflight-per-tenant=-1"}, 2, "usage error"},
+		{"rescued tiny event log cap", "rescued", []string{"-event-log-cap=2"}, 2, "usage error"},
+		{"loadgen bad class", "rescue-loadgen", []string{"-class=urgent", "-dry-run"}, 2, "usage error"},
+		{"loadgen negative slow readers", "rescue-loadgen", []string{"-slow-readers=-1", "-dry-run"}, 2, "usage error"},
+		{"loadgen unknown scenario", "rescue-loadgen", []string{"-scenario=chaos"}, 2, "usage error"},
+		{"loadgen scenario without base", "rescue-loadgen", []string{"-scenario=noisy-neighbor"}, 2, "usage error"},
 	}
 	runCases(t, bins, cases)
+}
+
+// TestRescuedTenant429 pins the per-tenant admission contract over a real
+// rescued process: with -tenant-queue-cap 1, a tenant that already has a
+// job running and one queued gets a 429 with an honest Retry-After on its
+// next submission — while a different tenant is still admitted.
+func TestRescuedTenant429(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t, "rescued")
+
+	cmd := exec.Command(bins["rescued"], "-addr", "127.0.0.1:0", "-quiet",
+		"-slots", "1", "-queue", "64", "-tenant-queue-cap", "1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("rescued never printed its listen address (scan err: %v)", sc.Err())
+	}
+	base := "http://" + addr
+
+	submit := func(tenant string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, base+"/jobs",
+			strings.NewReader(`{"kind":"table3","params":{"small":true}}`))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Rescue-Client", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	readID := func(resp *http.Response) string {
+		t.Helper()
+		var sn struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil || sn.ID == "" {
+			t.Fatalf("submit decode: %v (status %d)", err, resp.StatusCode)
+		}
+		resp.Body.Close()
+		return sn.ID
+	}
+
+	resp := submit("alpha")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first alpha submit: %d, want 202", resp.StatusCode)
+	}
+	id := readID(resp)
+
+	// Wait for the first job to occupy the slot, so the tenant's queue
+	// cap is measured against queued work only.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sn struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if sn.State == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running (state %s)", sn.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp = submit("alpha")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second alpha submit: %d, want 202 (fills the tenant queue)", resp.StatusCode)
+	}
+	readID(resp)
+
+	resp = submit("alpha")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third alpha submit: %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// The cap is per tenant: a different tenant still gets in.
+	resp = submit("beta")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("beta submit: %d, want 202 (caps are per tenant)", resp.StatusCode)
+	}
+	readID(resp)
 }
 
 // TestDeadlineExitCodes pins the -timeout contract added with the fab

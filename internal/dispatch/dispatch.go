@@ -70,6 +70,12 @@ type Config struct {
 	// Seed drives retry jitter and the chaos victim choice. Same seed,
 	// same decisions.
 	Seed int64
+	// Tenant, when set, tags every shard job the coordinator submits
+	// (X-Rescue-Client), so worker-side per-tenant metrics attribute
+	// shard load to the originating campaign's tenant and workers
+	// schedule it under that tenant's weight. Shard bodies are NOT
+	// rewritten — the artifact/checkpoint identity is tenant-blind.
+	Tenant string
 	// Logf, when set, receives one line per dispatch event.
 	Logf func(format string, args ...any)
 	// Chaos, when armed, kills workers mid-campaign (see ChaosConfig).
@@ -369,6 +375,9 @@ func (p *Pool) submit(ctx context.Context, w *worker, body []byte) (string, erro
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if p.cfg.Tenant != "" {
+		req.Header.Set("X-Rescue-Client", p.cfg.Tenant)
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return "", fmt.Errorf("submit to %s: %w", w.url, err)

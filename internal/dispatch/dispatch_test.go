@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -420,5 +421,39 @@ func TestDispatchConfigValidation(t *testing.T) {
 				t.Fatal("NewPool accepted a bad config")
 			}
 		})
+	}
+}
+
+// TestDispatchTenantTag: the coordinator's tenant tag rides every shard
+// submission as X-Rescue-Client, so worker-side per-tenant metrics
+// attribute the shard load to the originating campaign — and the merged
+// output is still byte-identical to the untagged serial run.
+func TestDispatchTenantTag(t *testing.T) {
+	want := serialGolden(t)
+	w := newWorker(t)
+	p, err := dispatch.NewPool(dispatch.Config{
+		Workers:   workerURLs(w),
+		Flow:      serve.Spec{Kind: "mini"},
+		Shards:    2,
+		MinFaults: 1,
+		Seed:      7,
+		Tenant:    "campaign-a",
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if got := runCoordinator(t, p); !bytes.Equal(got, want) {
+		t.Fatal("tenant-tagged dispatch changed the merged output")
+	}
+	resp, err := http.Get(w.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "tenant_campaign_a_admitted_total 2") {
+		t.Fatalf("worker metrics do not attribute shard jobs to the tenant:\n%s", b)
 	}
 }

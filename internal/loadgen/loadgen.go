@@ -71,6 +71,14 @@ type Config struct {
 	BurstGap time.Duration
 	// Profiles is the kind mix. Required.
 	Profiles []Profile
+	// Tenant, when set, tags every generated request with this tenant
+	// identity (spec "tenant" field + X-Rescue-Client header at fire
+	// time). "" leaves requests untagged — the schedule bytes, and
+	// therefore the digest, are identical to pre-tenancy builds.
+	Tenant string
+	// Class, when set, tags every request with a priority class
+	// ("interactive" or "batch").
+	Class string
 }
 
 func (c *Config) setDefaults() error {
@@ -125,6 +133,10 @@ type Client struct {
 	// client leans heavily on one favorite kind — ServeGen's client
 	// heterogeneity — with the rest of the mass spread by global weight.
 	Mix []float64 `json:"mix"`
+	// Tenant is the identity this client fires under (X-Rescue-Client).
+	// omitempty: untagged populations serialize — and digest — exactly as
+	// they did before multi-tenancy existed.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Request is one scheduled job submission.
@@ -136,6 +148,12 @@ type Request struct {
 	// Warm marks requests that submit their kind's canonical params and
 	// should therefore be artifact-cache hits once the cache is primed.
 	Warm bool `json:"warm"`
+	// Tenant and Class ride as X-Rescue-Client / X-Rescue-Class headers at
+	// fire time — never in Body, so tagging a workload doesn't perturb the
+	// jobs' artifact identities. omitempty keeps untagged schedules
+	// byte-identical (and digest-identical) to pre-tenancy builds.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
 	// Body is the full POST /jobs payload.
 	Body json.RawMessage `json:"body"`
 }
@@ -201,6 +219,7 @@ func Build(cfg Config) (*Schedule, error) {
 			Rate:   cfg.RPS * weights[i] / weightSum,
 			Bursty: rng.Float64() < cfg.BurstFrac,
 			Mix:    mix,
+			Tenant: cfg.Tenant,
 		})
 		seeds[i] = rng.Int63()
 	}
@@ -286,9 +305,46 @@ func emit(sch *Schedule, cfg Config, crng *rand.Rand, c *Client, t time.Duration
 		Client: c.ID,
 		Kind:   p.Kind,
 		Warm:   warm,
+		Tenant: cfg.Tenant,
+		Class:  cfg.Class,
 		Body:   body,
 	})
 	return nil
+}
+
+// Merge combines schedules built from separate Configs — typically one
+// per tenant — into a single time-ordered workload. Client IDs are
+// reindexed by offset (requests follow), seqs are reassigned over the
+// merged arrival order, canonicals are unioned, and Seeds concatenate in
+// client order so per-request backoff jitter stays deterministic.
+func Merge(schs ...*Schedule) *Schedule {
+	out := &Schedule{Canonical: map[string]json.RawMessage{}}
+	for _, s := range schs {
+		offset := len(out.Clients)
+		for _, c := range s.Clients {
+			c.ID += offset
+			out.Clients = append(out.Clients, c)
+		}
+		out.Seeds = append(out.Seeds, s.Seeds...)
+		for _, r := range s.Requests {
+			r.Client += offset
+			out.Requests = append(out.Requests, r)
+		}
+		for k, v := range s.Canonical {
+			out.Canonical[k] = v
+		}
+	}
+	sort.SliceStable(out.Requests, func(a, b int) bool {
+		ra, rb := out.Requests[a], out.Requests[b]
+		if ra.At != rb.At {
+			return ra.At < rb.At
+		}
+		return ra.Client < rb.Client
+	})
+	for i := range out.Requests {
+		out.Requests[i].Seq = i + 1
+	}
+	return out
 }
 
 // sample returns the index of the bucket u ∈ [0,1) falls into for a

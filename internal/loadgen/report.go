@@ -29,6 +29,39 @@ type KindStats struct {
 	Retries int `json:"retries"`
 }
 
+// TenantStats is one tenant's slice of the run.
+type TenantStats struct {
+	LatencyStats
+	// Warm is the tenant's warm-request latency population — the fairness
+	// gate's subject, since warm serving is what a victim tenant loses
+	// first under a noisy neighbor.
+	Warm     LatencyStats `json:"warm"`
+	Errors   int          `json:"errors"`
+	Rejected int          `json:"rejected"`
+	Retries  int          `json:"retries"`
+}
+
+// FairnessResult records the noisy-neighbor verdict: the victim tenant's
+// warm p99 under contention versus its solo baseline, in fair and
+// (optionally) unfair scheduling modes.
+type FairnessResult struct {
+	Checked   bool   `json:"checked"`
+	Victim    string `json:"victim"`
+	Aggressor string `json:"aggressor"`
+	// Bound is the allowed fair-mode degradation multiple over solo.
+	Bound float64 `json:"bound"`
+	// FloorMS guards against sub-noise solo baselines: the fair-mode
+	// budget is max(Bound*solo, FloorMS).
+	FloorMS     float64 `json:"floor_ms"`
+	SoloP99MS   float64 `json:"solo_p99_ms"`
+	FairP99MS   float64 `json:"fair_p99_ms"`
+	UnfairP99MS float64 `json:"unfair_p99_ms,omitempty"`
+	// UnfairStarved marks an unfair leg where no victim warm request
+	// succeeded at all — the strongest possible violation.
+	UnfairStarved bool     `json:"unfair_starved,omitempty"`
+	Violations    []string `json:"violations,omitempty"`
+}
+
 // SLOResult records the declared floors and the verdict.
 type SLOResult struct {
 	P99WarmMS    float64  `json:"p99_warm_ms,omitempty"`
@@ -52,6 +85,9 @@ type Report struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 
 	PerKind map[string]KindStats `json:"per_kind"`
+	// PerTenant splits the run by tenant identity; empty for untagged
+	// (single-tenant) workloads, whose report shape is unchanged.
+	PerTenant map[string]TenantStats `json:"per_tenant,omitempty"`
 	// Warm/Cold aggregate latency across kinds; Warm is the SLO subject.
 	Warm LatencyStats `json:"warm"`
 	Cold LatencyStats `json:"cold"`
@@ -72,7 +108,14 @@ type Report struct {
 	Slots          int64   `json:"slots"`
 	PrewarmMS      float64 `json:"prewarm_ms"`
 
+	// DropMarkers counts streams that saw a dropped marker from the
+	// server's bounded event buffers; DroppedEvents sums the evictions.
+	DropMarkers   int `json:"drop_markers,omitempty"`
+	DroppedEvents int `json:"dropped_events,omitempty"`
+
 	SLO SLOResult `json:"slo"`
+	// Fairness is the noisy-neighbor verdict; only scenario runs set it.
+	Fairness *FairnessResult `json:"fairness,omitempty"`
 }
 
 // BuildReport reduces a run's raw results to the benchmark report.
@@ -94,9 +137,14 @@ func BuildReport(cfg Config, sch *Schedule, st *RunStats) *Report {
 		SlotsBusyMean:  round2(st.SlotsBusyMean),
 		Slots:          st.Slots,
 		PrewarmMS:      round2(st.PrewarmMS),
+		DropMarkers:    st.DropMarkers,
+		DroppedEvents:  st.DroppedEvents,
 	}
 
 	kindHist := map[string]*obs.Histogram{}
+	type tenantHists struct{ all, warm *obs.Histogram }
+	tenantHist := map[string]*tenantHists{}
+	tenantStats := map[string]TenantStats{}
 	warmHist, coldHist := &obs.Histogram{}, &obs.Histogram{}
 	succeeded := 0
 	for _, rr := range st.Results {
@@ -104,6 +152,8 @@ func BuildReport(cfg Config, sch *Schedule, st *RunStats) *Report {
 		ks.Count++
 		ks.Retries += rr.Retries
 		r.Retries += rr.Retries
+		ts := tenantStats[rr.Tenant]
+		ts.Retries += rr.Retries
 		if rr.Warm {
 			ks.Warm++
 		} else {
@@ -123,15 +173,28 @@ func BuildReport(cfg Config, sch *Schedule, st *RunStats) *Report {
 			} else {
 				coldHist.Observe(rr.TotalMS)
 			}
+			th := tenantHist[rr.Tenant]
+			if th == nil {
+				th = &tenantHists{all: &obs.Histogram{}, warm: &obs.Histogram{}}
+				tenantHist[rr.Tenant] = th
+			}
+			th.all.Observe(rr.TotalMS)
+			if rr.Warm {
+				th.warm.Observe(rr.TotalMS)
+			}
 		case rr.State == "rejected":
 			r.Rejected++
 			ks.Errors++
 			r.Errors++
+			ts.Rejected++
+			ts.Errors++
 		default:
 			ks.Errors++
 			r.Errors++
+			ts.Errors++
 		}
 		r.PerKind[rr.Kind] = ks
+		tenantStats[rr.Tenant] = ts
 	}
 	for kind, h := range kindHist {
 		ks := r.PerKind[kind]
@@ -140,6 +203,23 @@ func BuildReport(cfg Config, sch *Schedule, st *RunStats) *Report {
 	}
 	r.Warm = latencyOf(warmHist)
 	r.Cold = latencyOf(coldHist)
+
+	// Per-tenant stats only exist for tagged workloads: an untagged run
+	// has the single "" tenant, and its report keeps the legacy shape.
+	_, untagged := tenantStats[""]
+	if len(tenantStats) > 0 && !(len(tenantStats) == 1 && untagged) {
+		r.PerTenant = map[string]TenantStats{}
+		for name, ts := range tenantStats {
+			if th := tenantHist[name]; th != nil {
+				ts.LatencyStats = latencyOf(th.all)
+				ts.Warm = latencyOf(th.warm)
+			}
+			if name == "" {
+				name = "default"
+			}
+			r.PerTenant[name] = ts
+		}
+	}
 
 	if r.Requests > 0 {
 		r.ErrorRate = float64(r.Errors) / float64(r.Requests)
@@ -224,6 +304,42 @@ func (r *Report) WriteSummary(w io.Writer) {
 	if r.Cold.Count > 0 {
 		fmt.Fprintf(w, "%-10s %6d %5s %5s %9.1fms %9.1fms %9.1fms %9.1fms\n",
 			"cold(all)", r.Cold.Count, "-", "-", r.Cold.P50MS, r.Cold.P90MS, r.Cold.P99MS, r.Cold.MaxMS)
+	}
+	if len(r.PerTenant) > 0 {
+		tenants := make([]string, 0, len(r.PerTenant))
+		for t := range r.PerTenant {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		fmt.Fprintf(w, "%-14s %6s %10s %10s %10s %8s %7s\n",
+			"tenant", "ok", "p50", "p99", "warm p99", "rejected", "errors")
+		for _, t := range tenants {
+			ts := r.PerTenant[t]
+			fmt.Fprintf(w, "%-14s %6d %9.1fms %9.1fms %9.1fms %8d %7d\n",
+				t, ts.Count, ts.P50MS, ts.P99MS, ts.Warm.P99MS, ts.Rejected, ts.Errors)
+		}
+	}
+	if r.DropMarkers > 0 {
+		fmt.Fprintf(w, "event drops: %d streams saw dropped markers (%d events evicted by bounded buffers)\n",
+			r.DropMarkers, r.DroppedEvents)
+	}
+	if r.Fairness != nil && r.Fairness.Checked {
+		f := r.Fairness
+		fmt.Fprintf(w, "fairness: victim %s warm p99 solo %.1fms, fair %.1fms (bound %.1fx, floor %.1fms)",
+			f.Victim, f.SoloP99MS, f.FairP99MS, f.Bound, f.FloorMS)
+		if f.UnfairStarved {
+			fmt.Fprintf(w, "; unfair starved victim entirely")
+		} else if f.UnfairP99MS > 0 {
+			fmt.Fprintf(w, "; unfair %.1fms", f.UnfairP99MS)
+		}
+		fmt.Fprintln(w)
+		if len(f.Violations) == 0 {
+			fmt.Fprintln(w, "fairness: ok")
+		} else {
+			for _, v := range f.Violations {
+				fmt.Fprintf(w, "FAIRNESS VIOLATION: %s\n", v)
+			}
+		}
 	}
 	if r.SLO.Checked {
 		if len(r.SLO.Violations) == 0 {

@@ -33,6 +33,15 @@ type Options struct {
 	SampleEvery time.Duration
 	// RequestTimeout bounds one request's full lifecycle. 0 = 5m.
 	RequestTimeout time.Duration
+	// SlowReaders marks the first N requests (by seq) as slow event-stream
+	// consumers: instead of holding the stream open, they poll the job
+	// snapshot every SlowReadDelay and replay the event log only after the
+	// job finishes — the consumer that fell behind and came back. Chatty
+	// jobs overflow a small -event-log-cap in the meantime, so the replay
+	// opens with a {"type":"dropped"} marker, which the run counts.
+	SlowReaders int
+	// SlowReadDelay is the slow readers' poll interval. 0 = 50ms.
+	SlowReadDelay time.Duration
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -54,6 +63,12 @@ func (o *Options) setDefaults() error {
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 5 * time.Minute
 	}
+	if o.SlowReaders < 0 {
+		return fmt.Errorf("loadgen: slow readers must be >= 0, got %d", o.SlowReaders)
+	}
+	if o.SlowReadDelay == 0 {
+		o.SlowReadDelay = 50 * time.Millisecond
+	}
 	return nil
 }
 
@@ -69,6 +84,11 @@ type RequestResult struct {
 	TotalMS float64 `json:"totalMS"`
 	// Retries counts 429-backoff resubmissions.
 	Retries int `json:"retries"`
+	// Tenant is the identity the request fired under ("" = untagged).
+	Tenant string `json:"tenant,omitempty"`
+	// Dropped counts events the server's bounded buffers evicted from this
+	// request's stream (the sum of dropped-marker counts it observed).
+	Dropped int `json:"dropped,omitempty"`
 	// State is the job's terminal state, or "rejected" when retries ran
 	// out, or "error" on a transport/protocol failure (Err has detail).
 	State string `json:"state"`
@@ -93,6 +113,10 @@ type RunStats struct {
 	CacheHits, CacheMisses int64
 	// PrewarmMS is how long priming the canonical specs took.
 	PrewarmMS float64
+	// DropMarkers counts request streams that observed at least one
+	// dropped marker; DroppedEvents sums the evicted-event counts.
+	DropMarkers   int
+	DroppedEvents int
 }
 
 // Run replays a schedule against a live daemon and records what happened.
@@ -171,6 +195,12 @@ func Run(ctx context.Context, sch *Schedule, opts Options) (*RunStats, error) {
 	}
 	wg.Wait()
 	st.Wall = time.Since(start)
+	for _, rr := range st.Results {
+		if rr.Dropped > 0 {
+			st.DropMarkers++
+			st.DroppedEvents += rr.Dropped
+		}
+	}
 	stopSampler()
 	<-samplerDone
 	if st.Samples > 0 {
@@ -216,7 +246,7 @@ func (s *Schedule) jitterSeed(req Request) int64 {
 // Retry-After plus seeded jitter), then stream events until the job goes
 // terminal.
 func fire(ctx context.Context, client *http.Client, opts Options, req Request, jitterSeed int64) RequestResult {
-	rr := RequestResult{Seq: req.Seq, Client: req.Client, Kind: req.Kind, Warm: req.Warm}
+	rr := RequestResult{Seq: req.Seq, Client: req.Client, Kind: req.Kind, Warm: req.Warm, Tenant: req.Tenant}
 	ctx, cancel := context.WithTimeout(ctx, opts.RequestTimeout)
 	defer cancel()
 	t0 := time.Now()
@@ -230,6 +260,14 @@ func fire(ctx context.Context, client *http.Client, opts Options, req Request, j
 			return rr.fail("error", err)
 		}
 		hreq.Header.Set("Content-Type", "application/json")
+		// Tenant identity rides as headers, never in the body — the job's
+		// artifact/checkpoint identity stays tenant-independent.
+		if req.Tenant != "" {
+			hreq.Header.Set("X-Rescue-Client", req.Tenant)
+		}
+		if req.Class != "" {
+			hreq.Header.Set("X-Rescue-Class", req.Class)
+		}
 		resp, err := client.Do(hreq)
 		if err != nil {
 			return rr.fail("error", err)
@@ -276,13 +314,54 @@ func fire(ctx context.Context, client *http.Client, opts Options, req Request, j
 	}
 	rr.SubmitMS = sinceMS(t0)
 
-	state, err := streamUntilDone(ctx, client, opts.BaseURL, id)
+	var state string
+	var dropped int
+	var err error
+	if req.Seq > 0 && req.Seq <= opts.SlowReaders {
+		state, dropped, err = lateReplay(ctx, client, opts.BaseURL, id, opts.SlowReadDelay)
+	} else {
+		state, dropped, err = streamUntilDone(ctx, client, opts.BaseURL, id)
+	}
 	rr.TotalMS = sinceMS(t0)
+	rr.Dropped = dropped
 	if err != nil {
 		return rr.fail("error", err)
 	}
 	rr.State = state
 	return rr
+}
+
+// lateReplay is the slow-consumer path: poll the snapshot until the job
+// is terminal, then read the retained event log in one pass, counting
+// what the server's bounded buffer evicted in the meantime.
+func lateReplay(ctx context.Context, client *http.Client, base, id string, every time.Duration) (string, int, error) {
+	for {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id, nil)
+		if err != nil {
+			return "", 0, err
+		}
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return "", 0, err
+		}
+		var sn struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sn)
+		resp.Body.Close()
+		if err != nil {
+			return "", 0, err
+		}
+		switch sn.State {
+		case "succeeded", "failed", "interrupted", "canceled":
+			return streamUntilDone(ctx, client, base, id)
+		}
+		select {
+		case <-time.After(every):
+		case <-ctx.Done():
+			return "", 0, ctx.Err()
+		}
+	}
 }
 
 func (r RequestResult) fail(state string, err error) RequestResult {
@@ -313,40 +392,48 @@ func backoff(retryAfter string, cap time.Duration) time.Duration {
 }
 
 // streamUntilDone follows the job's NDJSON event stream and returns the
-// terminal state from its done event. The stream ends when the job does,
-// so reading to EOF is the completion wait.
-func streamUntilDone(ctx context.Context, client *http.Client, base, id string) (string, error) {
+// terminal state from its done event plus the total events the server's
+// bounded buffers dropped from this consumer's view. The stream ends
+// when the job does, so reading to EOF is the completion wait.
+func streamUntilDone(ctx context.Context, client *http.Client, base, id string) (string, int, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/events", nil)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	resp, err := client.Do(hreq)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("events: HTTP %d", resp.StatusCode)
+		return "", 0, fmt.Errorf("events: HTTP %d", resp.StatusCode)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	state := ""
+	dropped := 0
 	for sc.Scan() {
 		var ev struct {
 			Type  string `json:"type"`
 			State string `json:"state"`
+			Count int    `json:"count"`
 		}
-		if json.Unmarshal(sc.Bytes(), &ev) == nil && ev.Type == "done" {
-			state = ev.State
+		if json.Unmarshal(sc.Bytes(), &ev) == nil {
+			switch ev.Type {
+			case "done":
+				state = ev.State
+			case "dropped":
+				dropped += ev.Count
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return "", err
+		return "", dropped, err
 	}
 	if state == "" {
-		return "", fmt.Errorf("event stream for %s ended without a done event", id)
+		return "", dropped, fmt.Errorf("event stream for %s ended without a done event", id)
 	}
-	return state, nil
+	return state, dropped, nil
 }
 
 type gauges struct {

@@ -1,0 +1,506 @@
+// Package sched is the multi-tenant admission controller and fair
+// scheduler behind rescued's job queue. It replaces the single bounded
+// FIFO with per-tenant queues drained by deficit-weighted round-robin
+// (DRR), so one greedy client degrades its own service instead of
+// everyone's — the serving-layer analogue of the paper's thesis that a
+// defective unit should cost its own capacity, not the whole die.
+//
+// The scheduler admits or sheds at enqueue time:
+//
+//   - a global cap bounds total queued work (memory),
+//   - a per-tenant cap bounds one tenant's queued work (fairness),
+//   - a per-tenant in-flight limit bounds one tenant's running work,
+//   - a client-supplied deadline sheds up front when the estimated
+//     queue wait already exceeds it (no point queueing doomed work).
+//
+// Every shed carries an honest per-tenant Retry-After derived from the
+// observed mean job duration and the tenant's fair share of slots.
+//
+// Within a tenant, two priority classes (interactive > batch) reorder
+// the queue; they never preempt running jobs. Across tenants, DRR
+// grants each active tenant credit proportional to its weight every
+// round, so over any round each backlogged tenant gets exactly its
+// weighted share of dispatches.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Class is a job priority class within a tenant's queue.
+type Class uint8
+
+const (
+	// ClassBatch is the default: FIFO within the tenant.
+	ClassBatch Class = iota
+	// ClassInteractive jumps ahead of queued batch work of the same
+	// tenant. It never preempts a running job.
+	ClassInteractive
+)
+
+// String renders the wire name.
+func (c Class) String() string {
+	if c == ClassInteractive {
+		return "interactive"
+	}
+	return "batch"
+}
+
+// ParseClass maps the wire name to a Class; "" is batch.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "batch":
+		return ClassBatch, nil
+	case "interactive":
+		return ClassInteractive, nil
+	}
+	return ClassBatch, fmt.Errorf("unknown class %q (want batch or interactive)", s)
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Slots is the number of concurrently dispatched jobs the wait
+	// estimator assumes. 0 = 1.
+	Slots int
+	// GlobalCap bounds total queued entries across all tenants.
+	// 0 = unlimited.
+	GlobalCap int
+	// TenantCap bounds one tenant's queued entries. 0 = GlobalCap.
+	// Ignored when fairness is disabled.
+	TenantCap int
+	// MaxInflight bounds one tenant's dispatched-but-unreleased entries;
+	// a tenant at its limit is skipped by the round-robin until a
+	// release. 0 = unlimited. Ignored when fairness is disabled.
+	MaxInflight int
+	// Weights gives per-tenant DRR weights; unlisted tenants get
+	// DefaultWeight. All weights must be >= 1.
+	Weights map[string]int
+	// DefaultWeight is the weight for tenants absent from Weights. 0 = 1.
+	DefaultWeight int
+	// Disable reverts to a single global FIFO with only the global cap —
+	// the pre-fairness behavior, kept for A/B measurement. Per-tenant
+	// caps, weights, in-flight limits, and classes are ignored; deadline
+	// shedding still applies, against the global wait estimate.
+	Disable bool
+	// JobSeconds returns the observed mean job duration in seconds,
+	// feeding the wait estimator. nil or non-positive values fall back
+	// to 1s.
+	JobSeconds func() float64
+	// OnDequeue, when set, observes each dispatch: the tenant, class,
+	// and how long the entry waited in queue. Called without the
+	// scheduler lock held.
+	OnDequeue func(tenant string, class Class, wait time.Duration)
+}
+
+// ShedError reports an admission rejection with an honest retry hint.
+type ShedError struct {
+	Tenant string
+	Reason string // "queue full", "tenant queue full", "deadline unmeetable"
+	// Deadline marks deadline-based sheds (the client's deadline cannot
+	// be met; retrying without relaxing it is pointless).
+	Deadline bool
+	// RetryAfter is the suggested client backoff in whole seconds,
+	// clamped to [1, 60].
+	RetryAfter int
+	// EstWait is the wait estimate that triggered a deadline shed.
+	EstWait time.Duration
+}
+
+func (e *ShedError) Error() string {
+	if e.Deadline {
+		return fmt.Sprintf("shed tenant %s: %s (estimated wait %s)", e.Tenant, e.Reason, e.EstWait.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("shed tenant %s: %s", e.Tenant, e.Reason)
+}
+
+// ErrClosed is returned by Enqueue after Close.
+var ErrClosed = errors.New("scheduler closed")
+
+type entry struct {
+	tenant  *tenant
+	class   Class
+	payload any
+	at      time.Time
+}
+
+type tenant struct {
+	name   string
+	weight int
+
+	credit   int // remaining dispatches this DRR round
+	qi, qb   []*entry
+	inflight int
+	active   bool // member of the round-robin ring
+
+	admitted, shed, dispatched, completed int64
+}
+
+func (t *tenant) qlen() int { return len(t.qi) + len(t.qb) }
+
+// pop takes the next entry: interactive before batch, FIFO within each.
+func (t *tenant) pop() *entry {
+	if len(t.qi) > 0 {
+		e := t.qi[0]
+		t.qi = t.qi[1:]
+		return e
+	}
+	e := t.qb[0]
+	t.qb = t.qb[1:]
+	return e
+}
+
+// Scheduler is the admission controller + DRR dispatcher. All methods
+// are safe for concurrent use.
+type Scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cfg  Config
+
+	tenants map[string]*tenant
+	ring    []*tenant // active (backlogged) tenants in round order
+	cursor  int       // ring index the next scan starts from
+	queued  int       // total queued entries
+	running int       // total dispatched-but-unreleased entries
+	fifo    []*entry  // the single queue in Disable mode
+	closed  bool
+}
+
+// New builds a Scheduler.
+func New(cfg Config) *Scheduler {
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	if cfg.DefaultWeight < 1 {
+		cfg.DefaultWeight = 1
+	}
+	if cfg.TenantCap == 0 {
+		cfg.TenantCap = cfg.GlobalCap
+	}
+	s := &Scheduler{cfg: cfg, tenants: map[string]*tenant{}}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *Scheduler) tenantLocked(name string) *tenant {
+	t, ok := s.tenants[name]
+	if !ok {
+		w := s.cfg.DefaultWeight
+		if cw, ok := s.cfg.Weights[name]; ok && cw >= 1 {
+			w = cw
+		}
+		t = &tenant{name: name, weight: w}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Enqueue admits one entry for the tenant or sheds it with a ShedError.
+// deadline <= 0 means no deadline. The payload is returned later by
+// Next.
+func (s *Scheduler) Enqueue(tenantName string, class Class, deadline time.Duration, payload any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t := s.tenantLocked(tenantName)
+
+	if s.cfg.GlobalCap > 0 && s.queued >= s.cfg.GlobalCap {
+		t.shed++
+		return &ShedError{Tenant: tenantName, Reason: "queue full", RetryAfter: s.retryAfterLocked(t)}
+	}
+	if !s.cfg.Disable && s.cfg.TenantCap > 0 && t.qlen() >= s.cfg.TenantCap {
+		t.shed++
+		return &ShedError{Tenant: tenantName, Reason: "tenant queue full", RetryAfter: s.retryAfterLocked(t)}
+	}
+	if deadline > 0 {
+		if est := s.estimateLocked(t); est > deadline {
+			t.shed++
+			return &ShedError{Tenant: tenantName, Reason: "deadline unmeetable", Deadline: true,
+				RetryAfter: s.retryAfterLocked(t), EstWait: est}
+		}
+	}
+
+	e := &entry{tenant: t, class: class, payload: payload, at: time.Now()}
+	if s.cfg.Disable {
+		s.fifo = append(s.fifo, e)
+	} else {
+		if class == ClassInteractive {
+			t.qi = append(t.qi, e)
+		} else {
+			t.qb = append(t.qb, e)
+		}
+		if !t.active {
+			// Joins the ring with zero credit; the next replenishment
+			// deals it in, so a returning tenant cannot bank a burst.
+			t.active = true
+			s.ring = append(s.ring, t)
+		}
+	}
+	t.admitted++
+	s.queued++
+	s.cond.Signal()
+	return nil
+}
+
+// Next blocks until an entry is dispatchable or the scheduler closes.
+// It returns the payload and a release func the caller must invoke when
+// the work finishes (it frees the tenant's in-flight slot). ok is false
+// after Close.
+func (s *Scheduler) Next() (payload any, release func(), ok bool) {
+	s.mu.Lock()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return nil, nil, false
+		}
+		if e := s.pickLocked(); e != nil {
+			t := e.tenant
+			t.inflight++
+			t.dispatched++
+			s.running++
+			s.queued--
+			wait := time.Since(e.at)
+			s.mu.Unlock()
+			if fn := s.cfg.OnDequeue; fn != nil {
+				fn(t.name, e.class, wait)
+			}
+			rel := func() {
+				s.mu.Lock()
+				t.inflight--
+				t.completed++
+				s.running--
+				// A tenant parked at its in-flight limit becomes
+				// dispatchable again; wake every waiting slot.
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			}
+			return e.payload, rel, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// pickLocked selects the next entry per DRR, or nil when nothing is
+// dispatchable (empty, or every backlogged tenant is at its in-flight
+// limit).
+func (s *Scheduler) pickLocked() *entry {
+	if s.cfg.Disable {
+		if len(s.fifo) == 0 {
+			return nil
+		}
+		e := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		return e
+	}
+	for pass := 0; pass < 2; pass++ {
+		n := len(s.ring)
+		for i := 0; i < n; i++ {
+			idx := (s.cursor + i) % n
+			t := s.ring[idx]
+			if t.credit < 1 || s.capped(t) {
+				continue
+			}
+			// Serve this tenant until its credit runs out: the cursor
+			// stays here so the burst order is A,A,A,B for weights 3:1.
+			t.credit--
+			s.cursor = idx
+			e := t.pop()
+			if t.qlen() == 0 {
+				s.deactivate(idx)
+			}
+			return e
+		}
+		// No credit anywhere. If some tenant is still dispatchable,
+		// start a new round: reset (not add — an idle round must not
+		// bank credit) every active tenant's credit to its weight.
+		dispatchable := false
+		for _, t := range s.ring {
+			if !s.capped(t) {
+				dispatchable = true
+				break
+			}
+		}
+		if !dispatchable {
+			return nil
+		}
+		for _, t := range s.ring {
+			t.credit = t.weight
+		}
+	}
+	return nil // unreachable: after a replenish some tenant has credit
+}
+
+func (s *Scheduler) capped(t *tenant) bool {
+	return s.cfg.MaxInflight > 0 && t.inflight >= s.cfg.MaxInflight
+}
+
+// deactivate removes ring[idx] — a tenant whose queue just emptied —
+// and zeroes its credit (the classic DRR rule: an empty queue forfeits
+// its deficit, so idleness cannot be banked into a later burst).
+func (s *Scheduler) deactivate(idx int) {
+	t := s.ring[idx]
+	t.active = false
+	t.credit = 0
+	s.ring = append(s.ring[:idx], s.ring[idx+1:]...)
+	if idx < s.cursor {
+		s.cursor--
+	}
+	if len(s.ring) == 0 {
+		s.cursor = 0
+	} else {
+		s.cursor %= len(s.ring)
+	}
+}
+
+// jobSecondsLocked returns the mean observed job duration, floored at a
+// 1s prior when unobserved.
+func (s *Scheduler) jobSeconds() float64 {
+	if s.cfg.JobSeconds != nil {
+		if v := s.cfg.JobSeconds(); v > 0 {
+			return v
+		}
+	}
+	return 1.0
+}
+
+// estimateLocked estimates how long a new entry for t would wait in
+// queue: the tenant's backlog (queued + in-flight) divided by the
+// tenant's fair share of slots, at the observed mean job duration. With
+// fairness disabled the estimate is global: the whole queue drains
+// ahead of the newcomer.
+func (s *Scheduler) estimateLocked(t *tenant) time.Duration {
+	mean := s.jobSeconds()
+	slots := float64(s.cfg.Slots)
+	if s.cfg.Disable {
+		ahead := float64(s.queued + s.running)
+		return time.Duration(mean * ahead / slots * float64(time.Second))
+	}
+	// Fair share: this tenant's weight over all tenants currently
+	// competing (backlogged or running), itself included.
+	total := 0
+	for _, o := range s.tenants {
+		if o == t || o.active || o.inflight > 0 {
+			total += o.weight
+		}
+	}
+	if total < t.weight {
+		total = t.weight
+	}
+	share := float64(t.weight) / float64(total)
+	ahead := float64(t.qlen() + t.inflight)
+	return time.Duration(mean * ahead / (slots * share) * float64(time.Second))
+}
+
+func (s *Scheduler) retryAfterLocked(t *tenant) int {
+	secs := int(s.estimateLocked(t).Seconds() + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// EstimateWait reports the current queue-wait estimate for a tenant.
+func (s *Scheduler) EstimateWait(tenantName string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.estimateLocked(s.tenantLocked(tenantName))
+}
+
+// RetryAfter reports the per-tenant backoff hint in seconds, clamped to
+// [1, 60].
+func (s *Scheduler) RetryAfter(tenantName string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retryAfterLocked(s.tenantLocked(tenantName))
+}
+
+// Queued reports the total queued entries.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// TenantSnapshot is one tenant's scheduling state, for /metrics.
+type TenantSnapshot struct {
+	Name     string
+	Weight   int
+	Queued   int
+	Inflight int
+
+	Admitted, Shed, Dispatched, Completed int64
+}
+
+// Tenant snapshots one tenant by name.
+func (s *Scheduler) Tenant(name string) (TenantSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return TenantSnapshot{}, false
+	}
+	return snap(t), true
+}
+
+// Tenants snapshots every tenant ever seen, sorted by name.
+func (s *Scheduler) Tenants() []TenantSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantSnapshot, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, snap(t))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func snap(t *tenant) TenantSnapshot {
+	return TenantSnapshot{
+		Name: t.name, Weight: t.weight,
+		Queued: t.qlen(), Inflight: t.inflight,
+		Admitted: t.admitted, Shed: t.shed,
+		Dispatched: t.dispatched, Completed: t.completed,
+	}
+}
+
+// Close shuts the scheduler down: Enqueue starts returning ErrClosed,
+// blocked Next calls return ok=false, and every undelivered payload is
+// returned (in dispatch-ish order) so the caller can fail them over.
+func (s *Scheduler) Close() []any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var out []any
+	for _, e := range s.fifo {
+		out = append(out, e.payload)
+	}
+	s.fifo = nil
+	// Ring order, interactive before batch per tenant: close enough to
+	// dispatch order for fail-over purposes, and deterministic.
+	for _, t := range s.ring {
+		for _, e := range t.qi {
+			out = append(out, e.payload)
+		}
+		for _, e := range t.qb {
+			out = append(out, e.payload)
+		}
+		t.qi, t.qb = nil, nil
+		t.active = false
+		t.credit = 0
+	}
+	s.ring = nil
+	s.queued = 0
+	s.cond.Broadcast()
+	return out
+}

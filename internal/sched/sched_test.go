@@ -1,0 +1,364 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// drain pulls n entries synchronously, releasing each immediately, and
+// returns the dispatch order as payloads.
+func drain(t *testing.T, s *Scheduler, n int) []any {
+	t.Helper()
+	out := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		p, rel, ok := s.Next()
+		if !ok {
+			t.Fatalf("Next returned !ok after %d of %d", i, n)
+		}
+		rel()
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestDRRWeightsWithinRound is the core fairness pin: with weights 3:1
+// and both tenants backlogged, every DRR round — every non-overlapping
+// window of weight-sum dispatches — contains exactly the weighted
+// share of each tenant.
+func TestDRRWeightsWithinRound(t *testing.T) {
+	s := New(Config{Weights: map[string]int{"a": 3, "b": 1}})
+	for i := 0; i < 12; i++ {
+		if err := s.Enqueue("a", ClassBatch, 0, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Enqueue("b", ClassBatch, 0, "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := drain(t, s, 16)
+	for w := 0; w < 16; w += 4 {
+		na, nb := 0, 0
+		for _, p := range order[w : w+4] {
+			if p == "a" {
+				na++
+			} else {
+				nb++
+			}
+		}
+		if na != 3 || nb != 1 {
+			t.Fatalf("round %d dispatched a=%d b=%d, want 3:1 (full order %v)", w/4, na, nb, order)
+		}
+	}
+	// The very first round serves the burst in credit order: a,a,a,b.
+	want := []any{"a", "a", "a", "b"}
+	for i, p := range order[:4] {
+		if p != want[i] {
+			t.Fatalf("first round order %v, want %v", order[:4], want)
+		}
+	}
+}
+
+// TestDRREqualWeightsAlternate: unweighted tenants alternate once both
+// are backlogged — no tenant gets two slots in a row while a peer
+// waits.
+func TestDRREqualWeightsAlternate(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 4; i++ {
+		s.Enqueue("x", ClassBatch, 0, "x")
+		s.Enqueue("y", ClassBatch, 0, "y")
+	}
+	order := drain(t, s, 8)
+	for i := 0; i+1 < len(order); i += 2 {
+		if order[i] == order[i+1] {
+			t.Fatalf("equal-weight tenants did not alternate: %v", order)
+		}
+	}
+}
+
+// TestIdleTenantBanksNoCredit: a tenant that sat idle while another
+// drained rounds does not burst past its weight when it returns.
+func TestIdleTenantBanksNoCredit(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 6; i++ {
+		s.Enqueue("busy", ClassBatch, 0, "busy")
+	}
+	// Drain three rounds solo, then the idle tenant shows up.
+	drain(t, s, 3)
+	for i := 0; i < 3; i++ {
+		s.Enqueue("late", ClassBatch, 0, "late")
+	}
+	// Every subsequent round (window of 2) is still an even split — the
+	// idle stretch earned "late" no extra credit.
+	order := drain(t, s, 6)
+	for w := 0; w < 6; w += 2 {
+		if order[w] == order[w+1] {
+			t.Fatalf("round %d served one tenant twice: %v", w/2, order)
+		}
+	}
+}
+
+// TestPriorityClasses: interactive entries jump queued batch work of
+// the same tenant, but an already-dispatched batch job is never
+// recalled.
+func TestPriorityClasses(t *testing.T) {
+	s := New(Config{})
+	s.Enqueue("t", ClassBatch, 0, "b1")
+	p, rel, ok := s.Next()
+	if !ok || p != "b1" {
+		t.Fatalf("first dispatch = %v, want b1", p)
+	}
+	// b1 is running. Interactive arrives behind queued batch work.
+	s.Enqueue("t", ClassBatch, 0, "b2")
+	s.Enqueue("t", ClassBatch, 0, "b3")
+	s.Enqueue("t", ClassInteractive, 0, "i1")
+	order := drain(t, s, 3)
+	if order[0] != "i1" || order[1] != "b2" || order[2] != "b3" {
+		t.Fatalf("dispatch order %v, want [i1 b2 b3]", order)
+	}
+	rel() // b1 ran to completion untouched
+	if sn, _ := s.Tenant("t"); sn.Completed != 4 {
+		t.Fatalf("completed = %d, want 4", sn.Completed)
+	}
+}
+
+// TestDeadlineShed: admission sheds up front when the estimated wait
+// exceeds the client deadline, and admits when the deadline is loose.
+func TestDeadlineShed(t *testing.T) {
+	s := New(Config{Slots: 1})
+	for i := 0; i < 5; i++ {
+		if err := s.Enqueue("t", ClassBatch, 0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backlog 5 at the 1s/job prior = ~5s estimated wait.
+	err := s.Enqueue("t", ClassBatch, 2*time.Second, "tight")
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("tight deadline admitted, want shed (err=%v)", err)
+	}
+	if !shed.Deadline || shed.Reason != "deadline unmeetable" {
+		t.Fatalf("shed = %+v, want deadline unmeetable", shed)
+	}
+	if shed.RetryAfter < 1 || shed.RetryAfter > 60 {
+		t.Fatalf("RetryAfter %d outside [1,60]", shed.RetryAfter)
+	}
+	if err := s.Enqueue("t", ClassBatch, time.Minute, "loose"); err != nil {
+		t.Fatalf("loose deadline shed: %v", err)
+	}
+	if sn, _ := s.Tenant("t"); sn.Shed != 1 || sn.Admitted != 6 {
+		t.Fatalf("shed=%d admitted=%d, want 1/6", sn.Shed, sn.Admitted)
+	}
+}
+
+// TestTenantCap: one tenant filling its own cap does not consume
+// another tenant's admission headroom.
+func TestTenantCap(t *testing.T) {
+	s := New(Config{GlobalCap: 10, TenantCap: 2})
+	s.Enqueue("a", ClassBatch, 0, 1)
+	s.Enqueue("a", ClassBatch, 0, 2)
+	err := s.Enqueue("a", ClassBatch, 0, 3)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "tenant queue full" {
+		t.Fatalf("over-cap enqueue: %v, want tenant queue full", err)
+	}
+	if shed.RetryAfter < 1 {
+		t.Fatalf("RetryAfter %d < 1", shed.RetryAfter)
+	}
+	if err := s.Enqueue("b", ClassBatch, 0, 4); err != nil {
+		t.Fatalf("victim shed behind aggressor cap: %v", err)
+	}
+}
+
+// TestGlobalCap: the global bound still backstops total memory.
+func TestGlobalCap(t *testing.T) {
+	s := New(Config{GlobalCap: 2, TenantCap: 2})
+	s.Enqueue("a", ClassBatch, 0, 1)
+	s.Enqueue("b", ClassBatch, 0, 2)
+	var shed *ShedError
+	if err := s.Enqueue("c", ClassBatch, 0, 3); !errors.As(err, &shed) || shed.Reason != "queue full" {
+		t.Fatalf("over global cap: %v, want queue full", err)
+	}
+}
+
+// TestMaxInflight: a tenant at its in-flight limit is skipped until a
+// release, and Next blocks rather than over-dispatching.
+func TestMaxInflight(t *testing.T) {
+	s := New(Config{MaxInflight: 1})
+	s.Enqueue("a", ClassBatch, 0, "a1")
+	s.Enqueue("a", ClassBatch, 0, "a2")
+	s.Enqueue("b", ClassBatch, 0, "b1")
+
+	p1, rel1, _ := s.Next()
+	if p1 != "a1" {
+		t.Fatalf("first = %v, want a1", p1)
+	}
+	p2, rel2, _ := s.Next()
+	if p2 != "b1" {
+		t.Fatalf("second = %v, want b1 (a is at its in-flight limit)", p2)
+	}
+
+	got := make(chan any, 1)
+	go func() {
+		p, rel, ok := s.Next()
+		if ok {
+			rel()
+		}
+		got <- p
+	}()
+	select {
+	case p := <-got:
+		t.Fatalf("Next dispatched %v past the in-flight limit", p)
+	case <-time.After(50 * time.Millisecond):
+	}
+	rel1()
+	select {
+	case p := <-got:
+		if p != "a2" {
+			t.Fatalf("after release got %v, want a2", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next still blocked after release")
+	}
+	rel2()
+}
+
+// TestDisableFIFO: fairness off is the legacy single FIFO — strict
+// arrival order across tenants, per-tenant caps and classes ignored,
+// only the global cap enforced.
+func TestDisableFIFO(t *testing.T) {
+	s := New(Config{Disable: true, GlobalCap: 6, TenantCap: 1, MaxInflight: 1,
+		Weights: map[string]int{"v": 100}})
+	s.Enqueue("g", ClassBatch, 0, "g1")
+	s.Enqueue("g", ClassBatch, 0, "g2") // past TenantCap: ignored when disabled
+	s.Enqueue("g", ClassBatch, 0, "g3")
+	s.Enqueue("v", ClassInteractive, 0, "v1")
+	order := drain(t, s, 4)
+	want := []any{"g1", "g2", "g3", "v1"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FIFO order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestCloseWakesAndReturnsQueued: Close unblocks Next with ok=false,
+// rejects later Enqueues, and hands back undelivered payloads.
+func TestCloseWakesAndReturnsQueued(t *testing.T) {
+	s := New(Config{})
+	done := make(chan bool, 1)
+	go func() {
+		_, _, ok := s.Next()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Enqueue("a", ClassBatch, 0, "served")
+	// The waiter takes "served"; these two stay queued.
+	time.Sleep(10 * time.Millisecond)
+	s.Enqueue("a", ClassBatch, 0, "q1")
+	s.Enqueue("b", ClassInteractive, 0, "q2")
+
+	left := s.Close()
+	if len(left) != 2 {
+		t.Fatalf("Close returned %v, want the 2 undelivered payloads", left)
+	}
+	if err := s.Enqueue("a", ClassBatch, 0, "late"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Enqueue: %v, want ErrClosed", err)
+	}
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("post-close Next returned ok")
+	}
+	if s.Queued() != 0 {
+		t.Fatalf("queued = %d after Close", s.Queued())
+	}
+	<-done
+}
+
+// TestRetryAfterHonest: the hint scales with the tenant's backlog and
+// observed job duration, clamped to [1, 60].
+func TestRetryAfterHonest(t *testing.T) {
+	mean := 2.0
+	s := New(Config{Slots: 1, JobSeconds: func() float64 { return mean }})
+	if got := s.RetryAfter("t"); got != 1 {
+		t.Fatalf("empty-queue RetryAfter = %d, want the 1s floor", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Enqueue("t", ClassBatch, 0, i)
+	}
+	if got := s.RetryAfter("t"); got != 10 {
+		t.Fatalf("RetryAfter = %d, want 10 (5 jobs x 2s)", got)
+	}
+	mean = 1000
+	if got := s.RetryAfter("t"); got != 60 {
+		t.Fatalf("RetryAfter = %d, want the 60s ceiling", got)
+	}
+}
+
+// TestEstimateUsesFairShare: with weights 3:1 and both tenants
+// backlogged, the same backlog depth costs the light tenant ~3x the
+// wait of the heavy one.
+func TestEstimateUsesFairShare(t *testing.T) {
+	s := New(Config{Slots: 1, Weights: map[string]int{"heavy": 3, "light": 1}})
+	for i := 0; i < 4; i++ {
+		s.Enqueue("heavy", ClassBatch, 0, i)
+		s.Enqueue("light", ClassBatch, 0, i)
+	}
+	h, l := s.EstimateWait("heavy"), s.EstimateWait("light")
+	if h <= 0 || l <= 0 {
+		t.Fatalf("estimates not positive: heavy=%v light=%v", h, l)
+	}
+	ratio := float64(l) / float64(h)
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Fatalf("wait ratio light/heavy = %.2f, want ~3 (heavy=%v light=%v)", ratio, h, l)
+	}
+}
+
+// TestSnapshotCounters: the per-tenant counters tell a consistent
+// story: admitted = dispatched + queued, completed tracks releases.
+func TestSnapshotCounters(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 3; i++ {
+		s.Enqueue("t", ClassBatch, 0, i)
+	}
+	_, rel, _ := s.Next()
+	rel()
+	_, rel2, _ := s.Next()
+
+	sn, ok := s.Tenant("t")
+	if !ok {
+		t.Fatal("tenant missing from snapshot")
+	}
+	if sn.Admitted != 3 || sn.Dispatched != 2 || sn.Completed != 1 ||
+		sn.Queued != 1 || sn.Inflight != 1 {
+		t.Fatalf("snapshot %+v inconsistent", sn)
+	}
+	rel2()
+	all := s.Tenants()
+	if len(all) != 1 || all[0].Name != "t" || all[0].Completed != 2 {
+		t.Fatalf("Tenants() = %+v", all)
+	}
+}
+
+// TestParseClass pins the wire names.
+func TestParseClass(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Class
+		err  bool
+	}{
+		{"", ClassBatch, false},
+		{"batch", ClassBatch, false},
+		{"interactive", ClassInteractive, false},
+		{"urgent", ClassBatch, true},
+	} {
+		got, err := ParseClass(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Fatalf("ParseClass(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if ClassBatch.String() != "batch" || ClassInteractive.String() != "interactive" {
+		t.Fatal("Class.String mismatch")
+	}
+}

@@ -1,0 +1,296 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rescue/internal/fault"
+	"rescue/internal/serve"
+)
+
+// submitAs posts a job body with an X-Rescue-Client header, the way
+// proxies and the dispatch coordinator tag traffic.
+func (s *testServer) submitAs(t *testing.T, tenant, body string) (serve.Snapshot, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, s.ts.URL+"/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Rescue-Client", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sn serve.Snapshot
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sn, resp
+}
+
+// TestServeStarvationRegression is the serve-level fairness pin: an
+// aggressor flooding its per-tenant queue cap on a one-slot server gets
+// per-tenant 429s with an honest Retry-After, while a victim submitted
+// afterwards is still admitted and — thanks to DRR — completes ahead of
+// most of the backlog the aggressor built first.
+func TestServeStarvationRegression(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, serve.Config{
+		Slots:          1,
+		QueueCap:       64,
+		TenantQueueCap: 8,
+		Kinds:          testKinds(release),
+	})
+
+	// One aggressor job occupies the slot...
+	run, resp := s.submitAs(t, "aggressor", `{"kind":"block"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker submit: %d", resp.StatusCode)
+	}
+	s.waitState(t, run.ID, serve.StateRunning, 5*time.Second)
+
+	// ...then the aggressor floods its queue cap.
+	var agg []string
+	for i := 0; i < 8; i++ {
+		sn, resp := s.submitAs(t, "aggressor", `{"kind":"block"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("aggressor submit %d: %d", i, resp.StatusCode)
+		}
+		agg = append(agg, sn.ID)
+	}
+	_, over := s.submitAs(t, "aggressor", `{"kind":"block"}`)
+	if over.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap aggressor submit: %d, want 429", over.StatusCode)
+	}
+	if ra := over.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("aggressor 429 carries no Retry-After")
+	}
+
+	// The victim is still admitted: the aggressor consumed its own cap,
+	// not the victim's.
+	victim, vresp := s.submitAs(t, "victim", `{"kind":"block"}`)
+	if vresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("victim starved at admission: %d", vresp.StatusCode)
+	}
+
+	close(release)
+	v := s.waitState(t, victim.ID, serve.StateSucceeded, 10*time.Second)
+	later := 0
+	for _, id := range agg {
+		a := s.waitState(t, id, serve.StateSucceeded, 10*time.Second)
+		if a.FinishedAt != nil && v.FinishedAt != nil && a.FinishedAt.After(*v.FinishedAt) {
+			later++
+		}
+	}
+	// DRR 1:1 dispatches the victim within one round of its arrival, so
+	// at least half the aggressor's earlier backlog finishes after it.
+	// FIFO would have run the victim dead last (later == 0).
+	if later < 4 {
+		t.Fatalf("victim finished after most of the aggressor backlog (%d/8 aggressor jobs finished later); starvation regression", later)
+	}
+
+	// Per-tenant metrics surfaced in /metrics.
+	_, metrics := s.get(t, "/metrics")
+	for _, want := range []string{
+		"tenant_aggressor_shed_total 1",
+		"tenant_aggressor_admitted_total 9",
+		"tenant_victim_admitted_total 1",
+		"tenant_victim_wait_seconds_p99",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestServeDeadlineShed: a submission whose estimated queue wait
+// exceeds its deadline is shed at admission with 429, before consuming
+// queue memory; a loose deadline is admitted.
+func TestServeDeadlineShed(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := newTestServer(t, serve.Config{Slots: 1, Kinds: testKinds(release)})
+
+	run, _ := s.submit(t, `{"kind":"block"}`)
+	s.waitState(t, run.ID, serve.StateRunning, 5*time.Second)
+	for i := 0; i < 5; i++ {
+		if _, resp := s.submit(t, `{"kind":"block"}`); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("backlog submit %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	// Backlog 6 at the 1s/job prior: a 1s deadline is unmeetable.
+	_, resp := s.submit(t, `{"kind":"block","deadlineMS":1000}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("doomed-deadline submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("deadline shed carries no Retry-After")
+	}
+	if _, resp := s.submit(t, `{"kind":"block","deadlineMS":600000}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("loose-deadline submit: %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestServeClassPriority: an interactive job jumps queued batch work of
+// its tenant but never preempts the running job.
+func TestServeClassPriority(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, serve.Config{Slots: 1, Kinds: testKinds(release)})
+
+	run, _ := s.submit(t, `{"kind":"block"}`)
+	s.waitState(t, run.ID, serve.StateRunning, 5*time.Second)
+	b1, _ := s.submit(t, `{"kind":"block"}`)
+	i1, resp := s.submit(t, `{"kind":"block","class":"interactive"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("interactive submit: %d", resp.StatusCode)
+	}
+	if i1.Class != "interactive" {
+		t.Fatalf("snapshot class %q, want interactive", i1.Class)
+	}
+	// The running batch job is untouched by the interactive arrival.
+	if sn := s.waitState(t, run.ID, serve.StateRunning, time.Second); sn.State != serve.StateRunning {
+		t.Fatal("running job preempted")
+	}
+
+	close(release)
+	isn := s.waitState(t, i1.ID, serve.StateSucceeded, 10*time.Second)
+	bsn := s.waitState(t, b1.ID, serve.StateSucceeded, 10*time.Second)
+	if isn.StartedAt.After(*bsn.StartedAt) {
+		t.Fatalf("interactive started %v, after batch %v", isn.StartedAt, bsn.StartedAt)
+	}
+}
+
+// TestServeBadTenantSpecs: malformed tenant names, classes, and
+// deadlines are 400s, not scheduling surprises.
+func TestServeBadTenantSpecs(t *testing.T) {
+	s := newTestServer(t, serve.Config{})
+	for _, body := range []string{
+		`{"kind":"table3","tenant":"no spaces"}`,
+		`{"kind":"table3","tenant":"` + strings.Repeat("x", 65) + `"}`,
+		`{"kind":"table3","class":"urgent"}`,
+		`{"kind":"table3","deadlineMS":-5}`,
+	} {
+		if _, resp := s.submit(t, body); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("submit %s: %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeTenantHeaderOverride: the X-Rescue-Client header wins over
+// the spec field, and the normalized tenant lands in the snapshot.
+func TestServeTenantHeaderOverride(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := newTestServer(t, serve.Config{Kinds: testKinds(release)})
+	sn, _ := s.submitAs(t, "proxy-id", `{"kind":"block","tenant":"body-id"}`)
+	if sn.Tenant != "proxy-id" {
+		t.Fatalf("tenant %q, want the header override proxy-id", sn.Tenant)
+	}
+	sn2, _ := s.submit(t, `{"kind":"block"}`)
+	if sn2.Tenant != "default" {
+		t.Fatalf("untagged tenant %q, want default", sn2.Tenant)
+	}
+}
+
+// TestServeEventDropMarkers: a job whose event volume exceeds the
+// bounded log sheds its oldest events; a consumer replaying after the
+// fact gets an explicit {"type":"dropped","count":N} marker followed by
+// a dense tail ending in done — and the snapshot still reports the full
+// historical event count.
+func TestServeEventDropMarkers(t *testing.T) {
+	kinds := serve.Kinds()
+	// chatty reports 100 distinct progress percentages, overwhelming the
+	// tiny log cap below.
+	kinds["chatty"] = func(ctx context.Context, rc serve.RunContext, _ json.RawMessage) ([]byte, error) {
+		progress := fault.ProgressFromContext(ctx)
+		for i := int64(1); i <= 100; i++ {
+			progress(i, 100)
+		}
+		return []byte("chatty done\n"), nil
+	}
+	s := newTestServer(t, serve.Config{EventLogCap: 16, Kinds: kinds})
+
+	sn, resp := s.submit(t, `{"kind":"chatty"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	fin := s.waitState(t, sn.ID, serve.StateSucceeded, 10*time.Second)
+	// queued + started + 100 progress + done = 103 events of history.
+	if fin.Events != 103 {
+		t.Fatalf("snapshot events = %d, want the full 103-event history", fin.Events)
+	}
+
+	code, evb := s.get(t, "/jobs/"+sn.ID+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("events: %d", code)
+	}
+	var evs []serve.Event
+	sc := bufio.NewScanner(bytes.NewReader(evb))
+	for sc.Scan() {
+		var ev serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if evs[0].Type != "dropped" || evs[0].Count != 103-16 {
+		t.Fatalf("first line = %+v, want dropped count=%d", evs[0], 103-16)
+	}
+	if evs[0].Seq != 0 {
+		t.Fatalf("dropped marker seq = %d, want 0 (synthetic)", evs[0].Seq)
+	}
+	for i := 1; i < len(evs); i++ {
+		if want := 103 - 16 + i; evs[i].Seq != want {
+			t.Fatalf("event %d seq = %d, want dense %d", i, evs[i].Seq, want)
+		}
+	}
+	if last := evs[len(evs)-1]; last.Type != "done" || last.State != serve.StateSucceeded {
+		t.Fatalf("last event %+v, want done/succeeded", last)
+	}
+}
+
+// TestServeUnfairModeFIFO: -fair=false reverts to the legacy single
+// FIFO — the victim waits behind the aggressor's entire backlog (the
+// behavior the fairness work exists to fix, kept measurable for A/B).
+func TestServeUnfairModeFIFO(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, serve.Config{
+		Slots:           1,
+		DisableFairness: true,
+		TenantQueueCap:  2, // ignored when fairness is off
+		Kinds:           testKinds(release),
+	})
+	run, _ := s.submitAs(t, "aggressor", `{"kind":"block"}`)
+	s.waitState(t, run.ID, serve.StateRunning, 5*time.Second)
+	var agg []string
+	for i := 0; i < 6; i++ {
+		sn, resp := s.submitAs(t, "aggressor", `{"kind":"block"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("aggressor %d rejected in unfair mode: %d", i, resp.StatusCode)
+		}
+		agg = append(agg, sn.ID)
+	}
+	victim, _ := s.submitAs(t, "victim", `{"kind":"block"}`)
+
+	close(release)
+	v := s.waitState(t, victim.ID, serve.StateSucceeded, 10*time.Second)
+	for _, id := range agg {
+		a := s.waitState(t, id, serve.StateSucceeded, 10*time.Second)
+		if a.FinishedAt.After(*v.FinishedAt) {
+			t.Fatalf("unfair mode reordered FIFO: aggressor %s finished after the victim", id)
+		}
+	}
+}

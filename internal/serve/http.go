@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rescue/internal/obs"
+	"rescue/internal/sched"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -69,16 +70,27 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "bad job spec: %v", err)
 			return
 		}
+		// Headers override the spec fields: proxies and dispatch
+		// coordinators tag traffic without rewriting job bodies (which
+		// would change the artifact/checkpoint identity).
+		if h := r.Header.Get("X-Rescue-Client"); h != "" {
+			spec.Tenant = h
+		}
+		if h := r.Header.Get("X-Rescue-Class"); h != "" {
+			spec.Class = h
+		}
 		j, err := s.Submit(spec)
+		var shed *sched.ShedError
 		switch {
-		case errors.Is(err, ErrQueueFull):
-			// Retry-After makes client backoff principled: the estimated
-			// queue-drain time, not a guess.
-			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
+		case errors.As(err, &shed):
+			// Per-tenant Retry-After makes client backoff principled:
+			// this tenant's estimated queue-drain time, not a guess and
+			// not some other tenant's backlog.
+			w.Header().Set("Retry-After", strconv.Itoa(shed.RetryAfter))
 			writeErr(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, ErrDraining):
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
-		case errors.Is(err, ErrUnknownKind):
+		case errors.Is(err, ErrUnknownKind), errors.Is(err, ErrBadSpec):
 			writeErr(w, http.StatusBadRequest, "%v", err)
 		case err != nil:
 			writeErr(w, http.StatusInternalServerError, "%v", err)
@@ -165,9 +177,14 @@ func (s *Server) handleResult(w http.ResponseWriter, j *Job) {
 // dispatch coordinator's heartbeat watchdog.
 const keepaliveEvery = 10 * time.Second
 
-// handleEvents streams the job's event log as NDJSON: everything so far,
-// then live appends until the job reaches a terminal state or the client
-// goes away. Each line is one Event; idle periods carry keepalives.
+// handleEvents streams the job's event log as NDJSON: everything still
+// retained, then live appends until the job reaches a terminal state or
+// the client goes away. Each line is one Event; idle periods carry
+// keepalives. The stream is bounded on both ends: the job's log evicts
+// old events past EventLogCap, and a consumer more than maxStreamLag
+// events behind is skipped ahead — either case surfaces as an explicit
+// {"type":"dropped","count":N} marker (seq 0, like keepalives) instead
+// of silently pinning server memory on a slow reader.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
@@ -176,20 +193,40 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	idle := time.NewTimer(keepaliveEvery)
 	defer idle.Stop()
 	after := 0
+	replay := true
 	for {
-		evs, state, changed := j.eventsSince(after)
+		dropped, evs, state, changed := j.eventsSince(after)
+		// The initial replay of retained history is part of the API
+		// contract (and already bounded by the log cap); the lag clip
+		// only applies once the stream is live and the consumer proves
+		// unable to keep up with it.
+		if !replay {
+			if lag := len(evs) - maxStreamLag; lag > 0 {
+				dropped += lag
+				evs = evs[lag:]
+			}
+		}
+		replay = false
+		if dropped > 0 {
+			if err := enc.Encode(Event{Type: "dropped", Time: time.Now(), Count: dropped}); err != nil {
+				return
+			}
+			after += dropped
+		}
 		for _, ev := range evs {
 			if err := enc.Encode(ev); err != nil {
 				return
 			}
 		}
 		after += len(evs)
-		if len(evs) > 0 && fl != nil {
-			fl.Flush()
+		if len(evs) > 0 || dropped > 0 {
+			if fl != nil {
+				fl.Flush()
+			}
 		}
 		if state.Done() {
 			// Drain any events appended between the snapshot and now.
-			if evs, _, _ := j.eventsSince(after); len(evs) == 0 {
+			if d, evs, _, _ := j.eventsSince(after); len(evs) == 0 && d == 0 {
 				return
 			}
 			continue

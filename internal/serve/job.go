@@ -36,11 +36,13 @@ func (s State) Done() bool {
 }
 
 // Event is one entry of a job's event log, streamed over
-// GET /jobs/{id}/events as NDJSON. Seq is 1-based and dense.
+// GET /jobs/{id}/events as NDJSON. Seq is 1-based and dense over the
+// job's full history; synthetic stream-only lines (keepalive, dropped)
+// carry Seq 0.
 type Event struct {
 	Seq  int       `json:"seq"`
 	Time time.Time `json:"time"`
-	Type string    `json:"type"` // queued, started, progress, output, done
+	Type string    `json:"type"` // queued, started, progress, output, done, dropped
 	// Msg is human-readable detail (the error for a failed done event).
 	Msg string `json:"msg,omitempty"`
 	// Done/Total carry campaign progress for progress events.
@@ -48,14 +50,29 @@ type Event struct {
 	Total int64 `json:"total,omitempty"`
 	// State accompanies done events.
 	State State `json:"state,omitempty"`
+	// Count accompanies dropped markers: how many events the consumer
+	// missed because the bounded log evicted them (or the consumer fell
+	// past the per-stream lag bound).
+	Count int `json:"count,omitempty"`
 }
 
 // Spec is the client-submitted description of a job: a kind name and
-// kind-specific parameters. The pair is also the job's cache identity —
-// byte-identical specs share artifacts and checkpoint journals.
+// kind-specific parameters. Kind and Params alone are the job's cache
+// identity — byte-identical pairs share artifacts and checkpoint
+// journals regardless of tenant, so a warm submission stays warm across
+// tenants and the digest contract of earlier releases is unchanged.
 type Spec struct {
 	Kind   string          `json:"kind"`
 	Params json.RawMessage `json:"params,omitempty"`
+	// Tenant names the submitting client for fair scheduling; the
+	// X-Rescue-Client header overrides it. "" = "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Class is the priority class: "interactive" or "batch" (default).
+	// The X-Rescue-Class header overrides it.
+	Class string `json:"class,omitempty"`
+	// DeadlineMS, when > 0, asks admission to shed the job up front if
+	// the estimated queue wait already exceeds this many milliseconds.
+	DeadlineMS int64 `json:"deadlineMS,omitempty"`
 }
 
 // Job is one submitted unit of work. All mutable fields are guarded by mu;
@@ -64,10 +81,15 @@ type Spec struct {
 type Job struct {
 	ID   string `json:"id"`
 	Spec Spec   `json:"spec"`
+	// Tenant is the normalized tenant identity the job was admitted
+	// under (header override applied, "" mapped to "default").
+	Tenant string `json:"tenant"`
 
 	mu      sync.Mutex
 	state   State
 	events  []Event
+	evBase  int // events evicted from the front of the bounded log
+	evCap   int // max retained events; <= 0 = unbounded
 	changed chan struct{}
 	output  []byte // the report, once finished
 	err     string // failure detail, once finished
@@ -98,11 +120,13 @@ func (j *Job) journalPath() string {
 	return j.ckPath
 }
 
-func newJob(id string, spec Spec) *Job {
+func newJob(id string, spec Spec, tenant string, evCap int) *Job {
 	j := &Job{
 		ID:       id,
 		Spec:     spec,
+		Tenant:   tenant,
 		state:    StateQueued,
+		evCap:    evCap,
 		changed:  make(chan struct{}),
 		queuedAt: time.Now(),
 	}
@@ -118,9 +142,18 @@ func (j *Job) append(ev Event) {
 }
 
 func (j *Job) appendLocked(ev Event) {
-	ev.Seq = len(j.events) + 1
+	ev.Seq = j.evBase + len(j.events) + 1
 	ev.Time = time.Now()
-	j.events = append(j.events, ev)
+	if j.evCap > 0 && len(j.events) >= j.evCap {
+		// Bounded log: evict the oldest event instead of growing without
+		// limit. Streamers that already read past the evicted prefix are
+		// unaffected; ones that lag see a dropped marker.
+		copy(j.events, j.events[1:])
+		j.events[len(j.events)-1] = ev
+		j.evBase++
+	} else {
+		j.events = append(j.events, ev)
+	}
 	close(j.changed)
 	j.changed = make(chan struct{})
 }
@@ -159,6 +192,8 @@ func (j *Job) finishOutput(out []byte) {
 type Snapshot struct {
 	ID         string     `json:"id"`
 	Kind       string     `json:"kind"`
+	Tenant     string     `json:"tenant,omitempty"`
+	Class      string     `json:"class,omitempty"`
 	State      State      `json:"state"`
 	Events     int        `json:"events"`
 	Error      string     `json:"error,omitempty"`
@@ -174,8 +209,10 @@ func (j *Job) snapshot() Snapshot {
 	sn := Snapshot{
 		ID:       j.ID,
 		Kind:     j.Spec.Kind,
+		Tenant:   j.Tenant,
+		Class:    j.Spec.Class,
 		State:    j.state,
-		Events:   len(j.events),
+		Events:   j.evBase + len(j.events),
 		Error:    j.err,
 		QueuedAt: j.queuedAt,
 	}
@@ -190,17 +227,21 @@ func (j *Job) snapshot() Snapshot {
 	return sn
 }
 
-// eventsSince returns events with Seq > after, the current state, and a
-// channel that is closed on the next mutation — the building blocks of the
-// NDJSON stream.
-func (j *Job) eventsSince(after int) ([]Event, State, <-chan struct{}) {
+// eventsSince returns events with Seq > after, how many the bounded log
+// already evicted past that cursor (the consumer's dropped count), the
+// current state, and a channel closed on the next mutation — the
+// building blocks of the NDJSON stream.
+func (j *Job) eventsSince(after int) (dropped int, evs []Event, state State, changed <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	var evs []Event
-	if after < len(j.events) {
-		evs = append(evs, j.events[after:]...)
+	if after < j.evBase {
+		dropped = j.evBase - after
+		after = j.evBase
 	}
-	return evs, j.state, j.changed
+	if rel := after - j.evBase; rel < len(j.events) {
+		evs = append(evs, j.events[rel:]...)
+	}
+	return dropped, evs, j.state, j.changed
 }
 
 // result returns the report once the job reached a terminal state.

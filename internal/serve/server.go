@@ -24,6 +24,7 @@ import (
 	"rescue/internal/fault"
 	"rescue/internal/flows"
 	"rescue/internal/obs"
+	"rescue/internal/sched"
 )
 
 // Cancellation causes, distinguishable via context.Cause so the runner can
@@ -57,7 +58,36 @@ type Config struct {
 	Kinds map[string]Runner
 	// Logf, when set, receives one line per job transition.
 	Logf func(format string, args ...any)
+
+	// TenantWeights gives per-tenant DRR weights for slot assignment;
+	// unlisted tenants weigh 1. nil = every tenant equal.
+	TenantWeights map[string]int
+	// TenantQueueCap bounds one tenant's queued jobs. 0 = QueueCap (a
+	// lone tenant keeps the full queue, so single-tenant behavior is
+	// unchanged).
+	TenantQueueCap int
+	// MaxInflightPerTenant bounds one tenant's running jobs. 0 = no
+	// per-tenant limit.
+	MaxInflightPerTenant int
+	// DisableFairness reverts admission to the single global FIFO of
+	// earlier releases: no per-tenant caps, weights, in-flight limits,
+	// or classes. Kept for A/B fairness measurement; the zero value
+	// (fairness on) is the default.
+	DisableFairness bool
+	// EventLogCap bounds each job's retained event log; older events are
+	// evicted and streamed consumers that lagged past them get a
+	// {"type":"dropped","count":N} marker. 0 = 4096, ample for every
+	// built-in flow's percent-throttled progress; negative = unbounded.
+	EventLogCap int
 }
+
+// DefaultEventLogCap is the per-job event-log bound when EventLogCap is 0.
+const DefaultEventLogCap = 4096
+
+// maxStreamLag bounds how far one NDJSON consumer may fall behind the
+// live log before the stream skips ahead with a dropped marker instead
+// of replaying the full backlog to a reader that cannot keep up.
+const maxStreamLag = 1024
 
 // Server owns the queue, the scheduler, and the artifact store.
 type Server struct {
@@ -72,9 +102,12 @@ type Server struct {
 	nextID   int
 	draining bool
 
-	queue chan *Job
+	sched *sched.Scheduler
 	wg    sync.WaitGroup // scheduler slots
 	jobWG sync.WaitGroup // running jobs
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantMetrics
 
 	mQueued      *obs.Counter
 	mRejected    *obs.Counter
@@ -85,6 +118,49 @@ type Server struct {
 	gQueueDepth  *obs.Gauge
 	gRunning     *obs.Gauge
 	hJobSeconds  *obs.Histogram
+}
+
+// tenantMetrics is one tenant's lazily-created slice of the registry:
+// counters for admissions and sheds, a queue-wait histogram (quantiles
+// land in /metrics automatically), and gauge funcs reading the
+// scheduler's live per-tenant state.
+type tenantMetrics struct {
+	admitted *obs.Counter
+	shed     *obs.Counter
+	wait     *obs.Histogram
+}
+
+// tenantMetrics returns (creating on first use) the metric handles for
+// a tenant. Metric names embed the sanitized tenant name:
+// tenant_<name>_admitted_total, _shed_total, _queue_depth, _running,
+// _wait_seconds.
+func (s *Server) tenantMetrics(tenant string) *tenantMetrics {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if tm, ok := s.tenants[tenant]; ok {
+		return tm
+	}
+	p := "tenant_" + obs.SanitizeName(tenant) + "_"
+	tm := &tenantMetrics{
+		admitted: s.reg.Counter(p + "admitted_total"),
+		shed:     s.reg.Counter(p + "shed_total"),
+		wait:     s.reg.Histogram(p + "wait_seconds"),
+	}
+	name := tenant
+	s.reg.RegisterFunc(p+"queue_depth", func() float64 {
+		sn, _ := s.sched.Tenant(name)
+		return float64(sn.Queued)
+	})
+	s.reg.RegisterFunc(p+"running", func() float64 {
+		sn, _ := s.sched.Tenant(name)
+		return float64(sn.Inflight)
+	})
+	s.reg.RegisterFunc(p+"weight", func() float64 {
+		sn, _ := s.sched.Tenant(name)
+		return float64(sn.Weight)
+	})
+	s.tenants[tenant] = tm
+	return tm
 }
 
 // New builds a Server and starts its scheduler slots.
@@ -102,13 +178,16 @@ func New(cfg Config) *Server {
 	if kinds == nil {
 		kinds = Kinds()
 	}
+	if cfg.EventLogCap == 0 {
+		cfg.EventLogCap = DefaultEventLogCap
+	}
 	s := &Server{
-		cfg:   cfg,
-		kinds: kinds,
-		store: flows.NewStore(),
-		reg:   cfg.Reg,
-		jobs:  map[string]*Job{},
-		queue: make(chan *Job, cfg.QueueCap),
+		cfg:     cfg,
+		kinds:   kinds,
+		store:   flows.NewStore(),
+		reg:     cfg.Reg,
+		jobs:    map[string]*Job{},
+		tenants: map[string]*tenantMetrics{},
 
 		mQueued:      cfg.Reg.Counter("jobs_queued_total"),
 		mRejected:    cfg.Reg.Counter("jobs_rejected_total"),
@@ -120,6 +199,24 @@ func New(cfg Config) *Server {
 		gRunning:     cfg.Reg.Gauge("jobs_running"),
 		hJobSeconds:  cfg.Reg.Histogram("job_seconds"),
 	}
+	s.sched = sched.New(sched.Config{
+		Slots:       cfg.Slots,
+		GlobalCap:   cfg.QueueCap,
+		TenantCap:   cfg.TenantQueueCap,
+		MaxInflight: cfg.MaxInflightPerTenant,
+		Weights:     cfg.TenantWeights,
+		Disable:     cfg.DisableFairness,
+		JobSeconds: func() float64 {
+			count, sum, _, _ := s.hJobSeconds.Snapshot()
+			if count == 0 {
+				return 0 // scheduler falls back to its 1s prior
+			}
+			return sum / float64(count)
+		},
+		OnDequeue: func(tenant string, _ sched.Class, wait time.Duration) {
+			s.tenantMetrics(tenant).wait.Observe(wait.Seconds())
+		},
+	})
 	cfg.Reg.RegisterFunc("queue_cap", func() float64 { return float64(s.cfg.QueueCap) })
 	cfg.Reg.RegisterFunc("scheduler_slots", func() float64 { return float64(s.cfg.Slots) })
 	cfg.Reg.RegisterFunc("artifact_cache_hits_total", func() float64 { return float64(s.store.Hits()) })
@@ -139,62 +236,85 @@ func (s *Server) Store() *flows.Store { return s.store }
 // Registry exposes the metrics registry backing /metrics.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Submit validates and enqueues a job. It returns ErrQueueFull when the
-// queue is at capacity and ErrDraining after Drain began.
+// TenantName validates and normalizes a tenant identity: "" maps to
+// "default"; otherwise up to 64 chars of [A-Za-z0-9._-].
+func TenantName(raw string) (string, error) {
+	if raw == "" {
+		return "default", nil
+	}
+	if len(raw) > 64 {
+		return "", fmt.Errorf("%w: tenant name longer than 64 chars", ErrBadSpec)
+	}
+	for _, c := range raw {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return "", fmt.Errorf("%w: tenant name %q (want [A-Za-z0-9._-])", ErrBadSpec, raw)
+		}
+	}
+	return raw, nil
+}
+
+// Submit validates a spec and offers it to the fair scheduler. On
+// rejection it returns a *sched.ShedError (per-tenant 429 with an
+// honest Retry-After), ErrDraining after Drain began, or ErrBadSpec /
+// ErrUnknownKind for malformed specs.
 func (s *Server) Submit(spec Spec) (*Job, error) {
 	if _, ok := s.kinds[spec.Kind]; !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, spec.Kind)
 	}
+	tenant, err := TenantName(spec.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	class, err := sched.ParseClass(spec.Class)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if spec.DeadlineMS < 0 {
+		return nil, fmt.Errorf("%w: negative deadlineMS %d", ErrBadSpec, spec.DeadlineMS)
+	}
+	deadline := time.Duration(spec.DeadlineMS) * time.Millisecond
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
 	s.nextID++
-	j := newJob(fmt.Sprintf("j%06d", s.nextID), spec)
-	select {
-	case s.queue <- j:
-	default:
+	j := newJob(fmt.Sprintf("j%06d", s.nextID), spec, tenant, s.cfg.EventLogCap)
+	if err := s.sched.Enqueue(tenant, class, deadline, j); err != nil {
 		s.nextID--
 		s.mu.Unlock()
+		if errors.Is(err, sched.ErrClosed) {
+			return nil, ErrDraining
+		}
 		s.mRejected.Inc()
-		return nil, ErrQueueFull
+		s.tenantMetrics(tenant).shed.Inc()
+		return nil, err
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
 	s.mQueued.Inc()
+	s.tenantMetrics(tenant).admitted.Inc()
 	s.gQueueDepth.Add(1)
-	s.logf("job %s queued kind=%s", j.ID, spec.Kind)
+	s.logf("job %s queued kind=%s tenant=%s class=%s", j.ID, spec.Kind, tenant, class)
 	return j, nil
 }
 
 // Submission errors, mapped to HTTP statuses by the handler.
 var (
-	ErrQueueFull   = errors.New("job queue full")
 	ErrUnknownKind = errors.New("unknown job kind")
+	ErrBadSpec     = errors.New("bad job spec")
 )
 
-// RetryAfter estimates how many seconds a 429'd client should wait before
-// resubmitting: the time for the scheduler to drain the current queue,
-// from the observed mean job duration — depth/slots jobs ahead of the
-// retry, clamped to [1s, 60s]. With no completed jobs yet the estimate
-// defaults to the 1-second floor.
-func (s *Server) RetryAfter() int {
-	count, sum, _, _ := s.hJobSeconds.Snapshot()
-	mean := 1.0
-	if count > 0 {
-		mean = sum / float64(count)
-	}
-	depth := float64(s.gQueueDepth.Value() + s.gRunning.Value())
-	secs := int(mean*depth/float64(s.cfg.Slots) + 0.5)
-	if secs < 1 {
-		secs = 1
-	}
-	if secs > 60 {
-		secs = 60
-	}
-	return secs
+// RetryAfter estimates how many seconds a 429'd tenant should wait
+// before resubmitting: its backlog over its fair share of slots at the
+// observed mean job duration, clamped to [1s, 60s].
+func (s *Server) RetryAfter(tenant string) int {
+	return s.sched.RetryAfter(tenant)
 }
 
 // Job looks a job up by ID.
@@ -255,7 +375,18 @@ func (s *Server) Drain(ctx context.Context) error {
 		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
-	close(s.queue)
+
+	// Closing the scheduler stops the slots and hands back every
+	// undelivered job; marking them interrupted here keeps the depth
+	// gauge honest without racing the cancel sweep below (setState is
+	// idempotent — the first terminal state wins).
+	for _, p := range s.sched.Close() {
+		j := p.(*Job)
+		s.gQueueDepth.Add(-1)
+		if j.setState(StateInterrupted, ErrDraining.Error()) {
+			s.mInterrupted.Inc()
+		}
+	}
 
 	for _, j := range jobs {
 		j.mu.Lock()
@@ -264,8 +395,6 @@ func (s *Server) Drain(ctx context.Context) error {
 		if cancel != nil {
 			cancel(ErrDraining)
 		} else if j.setState(StateInterrupted, ErrDraining.Error()) {
-			// Still queued: the slot drains it from the channel (keeping the
-			// depth gauge honest) and skips it once it sees the state.
 			s.mInterrupted.Inc()
 		}
 	}
@@ -284,12 +413,21 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// slot is one scheduler worker: it owns at most one running job at a time.
+// slot is one scheduler worker: it owns at most one running job at a
+// time, pulled from the fair scheduler in DRR order. The release
+// callback frees the job's tenant in-flight slot whether the job ran or
+// was skipped (canceled while queued).
 func (s *Server) slot() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		p, release, ok := s.sched.Next()
+		if !ok {
+			return
+		}
+		j := p.(*Job)
 		s.gQueueDepth.Add(-1)
 		s.runJob(j)
+		release()
 	}
 }
 

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Multi-tenant fairness smoke for the rescued daemon, and the CI fairness
+# gate:
+#
+#   1. build rescued and rescue-loadgen
+#   2. boot two daemons on ephemeral ports: one with fair scheduling
+#      (DRR weights victim=2:aggressor=1, per-tenant queue cap, one
+#      in-flight job per tenant) and one with -fair=false (the legacy
+#      single FIFO)
+#   3. run the canned noisy-neighbor scenario: the victim tenant's warm
+#      p99 is measured solo, then under an aggressor flood against the
+#      fair daemon — it must stay within the fairness budget — and then
+#      against the unfair daemon, which must demonstrably violate it
+#      (or starve the victim outright); the report lands in
+#      BENCH_loadtest.json and a violation exits nonzero
+#   4. assert the fair daemon's /metrics carry the per-tenant account:
+#      aggressor shed at least once, victim admitted, victim wait
+#      quantiles exported
+#   5. slow-consumer leg: a third daemon with a tiny -event-log-cap
+#      serves chatty cold campaigns to late-replaying readers; every
+#      stream must surface an explicit {"type":"dropped"} marker instead
+#      of unbounded buffering
+#   6. SIGTERM the fair daemon; it must drain and exit 0
+#
+# The 3x bound is a regression tripwire for "fair scheduling broke", not
+# a performance contest: with one in-flight aggressor job per tenant the
+# victim always has a free slot, so its contended warm p99 should sit
+# near its solo baseline with a wide margin.
+#
+# Usage: scripts/fairness-smoke.sh
+#   env: FAIR_SEED (default 2026), FAIR_DURATION (default 6s),
+#        FAIR_BOUND (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed=${FAIR_SEED:-2026}
+duration=${FAIR_DURATION:-6s}
+bound=${FAIR_BOUND:-3}
+tmp=$(mktemp -d)
+fair_pid=""
+unfair_pid=""
+drops_pid=""
+cleanup() {
+    for pid in "$fair_pid" "$unfair_pid" "$drops_pid"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmp/rescued" ./cmd/rescued
+go build -o "$tmp/rescue-loadgen" ./cmd/rescue-loadgen
+
+# start_daemon runs rescued in the *main* shell (so wait/kill see it as a
+# child) and leaves its pid in DAEMON_PID and base URL in DAEMON_BASE.
+start_daemon() { # name, args...
+    local name=$1; shift
+    "$tmp/rescued" -addr 127.0.0.1:0 -quiet "$@" >"$tmp/$name.out" 2>&1 &
+    DAEMON_PID=$!
+    local addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/^listening on //p' "$tmp/$name.out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: $name rescued never came up" >&2
+        cat "$tmp/$name.out" >&2
+        exit 1
+    fi
+    DAEMON_BASE="http://$addr"
+}
+
+echo "== start fair daemon (DRR victim=2:aggressor=1, tenant caps) and unfair control"
+start_daemon fair -slots 2 -queue 64 \
+    -tenant-weights victim=2,aggressor=1 -tenant-queue-cap 16 \
+    -max-inflight-per-tenant 1
+fair_pid=$DAEMON_PID fair_base=$DAEMON_BASE
+start_daemon unfair -fair=false -slots 2 -queue 64
+unfair_pid=$DAEMON_PID unfair_base=$DAEMON_BASE
+echo "   fair $fair_base, unfair $unfair_base"
+
+echo "== noisy-neighbor scenario (bound ${bound}x, duration $duration)"
+"$tmp/rescue-loadgen" -scenario noisy-neighbor \
+    -base "$fair_base" -base-unfair "$unfair_base" \
+    -seed "$seed" -duration "$duration" -aggressor-mult 12 \
+    -fairness-bound "$bound" -out BENCH_loadtest.json
+
+echo "== BENCH_loadtest.json must carry the fairness verdict"
+for field in '"fairness"' '"solo_p99_ms"' '"fair_p99_ms"' '"per_tenant"' \
+    '"victim"' '"aggressor"'; do
+    grep -q "$field" BENCH_loadtest.json || {
+        echo "FAIL: BENCH_loadtest.json missing $field" >&2
+        cat BENCH_loadtest.json >&2
+        exit 1
+    }
+done
+
+echo "== fair daemon /metrics must account per tenant"
+curl -fsS "$fair_base/metrics" >"$tmp/fair.metrics"
+grep -Eq 'tenant_aggressor_shed_total [1-9]' "$tmp/fair.metrics" || {
+    echo "FAIL: aggressor was never shed on the fair daemon" >&2
+    grep tenant_ "$tmp/fair.metrics" >&2 || true
+    exit 1
+}
+grep -Eq 'tenant_victim_admitted_total [1-9]' "$tmp/fair.metrics" || {
+    echo "FAIL: no victim admissions recorded" >&2
+    exit 1
+}
+grep -q 'tenant_victim_wait_seconds_p99' "$tmp/fair.metrics" || {
+    echo "FAIL: victim wait quantiles not exported" >&2
+    exit 1
+}
+
+echo "== slow consumers must see dropped markers, not unbounded buffers"
+start_daemon drops -slots 2 -event-log-cap 16
+drops_pid=$DAEMON_PID drops_base=$DAEMON_BASE
+"$tmp/rescue-loadgen" -base "$drops_base" -seed "$seed" \
+    -mix isolation=1 -hit-ratio 0 -clients 2 -rps 1.5 -duration 4s \
+    -slow-readers 9999 -prewarm=false -out "$tmp/drops.json" -quiet >/dev/null
+grep -Eq '"drop_markers": [1-9]' "$tmp/drops.json" || {
+    echo "FAIL: slow readers saw no dropped markers" >&2
+    cat "$tmp/drops.json" >&2
+    exit 1
+}
+
+echo "== SIGTERM: fair daemon must drain and exit 0"
+kill -TERM "$fair_pid"
+rc=0
+wait "$fair_pid" || rc=$?
+fair_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: fair rescued exited $rc on SIGTERM, want 0" >&2
+    cat "$tmp/fair.out" >&2
+    exit 1
+fi
+
+echo "PASS: fairness smoke (victim isolated under flood, unfair mode provably worse, tenants metered, slow readers bounded)"
