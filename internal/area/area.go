@@ -150,6 +150,19 @@ func rescueModel() (Model, float64) {
 	return m, moveQ + moveL
 }
 
+// RescueChipkillScaled returns the Rescue model with the chipkill bucket
+// scaled by f — the design-space knob for what-if questions about the
+// chipkill share (a smaller predictor/BTB/TLB complex, or extra
+// uncovered control logic). f = 1 returns exactly Rescue(); the redundant
+// pairs are untouched, only the bucket and the total move.
+func RescueChipkillScaled(f float64) Model {
+	m := Rescue()
+	delta := m.PairArea[Chipkill] * (f - 1)
+	m.PairArea[Chipkill] += delta
+	m.Total += delta
+	return m
+}
+
 // RescueSelfHeal extends the Rescue model with the self-healing-array
 // integration the paper's related work proposes (Bower et al.): the
 // predictor tables and active list — btbShare of the chipkill bucket —
@@ -158,7 +171,14 @@ func rescueModel() (Model, float64) {
 // the healed area is dropped from the fault-sensitive total because entry
 // faults there cost capacity, not correctness.
 func RescueSelfHeal(btbShare float64) Model {
-	m := Rescue()
+	return SelfHealFrom(Rescue(), btbShare)
+}
+
+// SelfHealFrom applies the self-healing-array transform to an arbitrary
+// Rescue-shaped model — the composition point for design-space variants
+// whose chipkill bucket already differs from the paper's (see
+// RescueChipkillScaled). SelfHealFrom(Rescue(), s) == RescueSelfHeal(s).
+func SelfHealFrom(m Model, btbShare float64) Model {
 	healed := m.PairArea[Chipkill] * btbShare
 	m.PairArea[Chipkill] -= healed
 	// the healed structures still occupy silicon (plus spares overhead)

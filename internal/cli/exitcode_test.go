@@ -279,6 +279,38 @@ func TestShardExitCodes(t *testing.T) {
 	runCases(t, bins, cases)
 }
 
+// TestSweepExitCodes pins rescue-sweep's flag and spec validation (exit 2
+// before any grid work) and the deadline path (exit 124). The degraded
+// path — exit 3 after remote fallbacks — and the kill/-resume byte-identity
+// contract are exercised by scripts/sweep-smoke.sh.
+func TestSweepExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t, "rescue-sweep")
+
+	cases := []exitCase{
+		{"sweep negative workers", "rescue-sweep", []string{"-workers=-1"}, 2, "usage error"},
+		{"sweep negative timeout", "rescue-sweep", []string{"-timeout=-1s"}, 2, "usage error"},
+		{"sweep negative concurrency", "rescue-sweep", []string{"-concurrency=-1"}, 2, "usage error"},
+		{"sweep resume without checkpoint", "rescue-sweep", []string{"-resume"}, 2, "usage error"},
+		{"sweep negative chaos budget", "rescue-sweep", []string{"-chaos-cancel-after=-5"}, 2, "usage error"},
+		{"sweep bad preset", "rescue-sweep", []string{"-preset", "nope"}, 2, "usage error"},
+		{"sweep bad axis key", "rescue-sweep", []string{"-axis", "nope=1"}, 2, "usage error"},
+		{"sweep malformed axis", "rescue-sweep", []string{"-axis", "chipkill-scale"}, 2, ""},
+		{"sweep bad axis value", "rescue-sweep", []string{"-axis", "rob-size=big"}, 2, "usage error"},
+		{"sweep bad node", "rescue-sweep", []string{"-node", "45"}, 2, "usage error"},
+		{"sweep non-numeric node", "rescue-sweep", []string{"-node", "x"}, 2, "usage error"},
+		{"sweep negative dies", "rescue-sweep", []string{"-dies=-1"}, 2, "usage error"},
+		{"sweep selfheal out of range", "rescue-sweep", []string{"-selfheal", "0.95"}, 2, "usage error"},
+		{"sweep empty dispatch list", "rescue-sweep", []string{"-dispatch", ","}, 2, "usage error"},
+		{"sweep unknown flag", "rescue-sweep", []string{"-no-such-flag"}, 2, ""},
+		{"sweep deadline", "rescue-sweep",
+			[]string{"-small", "-timeout=1ns", "-dies", "2", "-warmup", "100", "-commit", "500", "-quiet"}, 124, "deadline"},
+	}
+	runCases(t, bins, cases)
+}
+
 // TestRescuedDeleteTerminal pins the cancel contract over a real rescued
 // process: DELETE on a live job cancels it (200); DELETE on the now
 // terminal job is refused with 409 — never a 404, never a silent second

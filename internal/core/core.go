@@ -35,11 +35,19 @@ type System struct {
 // baseline variant builds successfully but its audit reports violations —
 // that is the paper's point, not an error.
 func Build(cfg rtl.Config, v rtl.Variant) (*System, error) {
+	return BuildChains(cfg, v, 1)
+}
+
+// BuildChains is Build with an explicit scan-chain split — the
+// design-space knob trading test time (shorter chains shift faster)
+// against chipkill routing area. Build passes 1, the paper's single
+// chain; every golden is pinned against that.
+func BuildChains(cfg rtl.Config, v rtl.Variant, chains int) (*System, error) {
 	d, err := rtl.Build(cfg, v)
 	if err != nil {
 		return nil, err
 	}
-	c, err := scan.Insert(d.N, 1)
+	c, err := scan.Insert(d.N, chains)
 	if err != nil {
 		return nil, err
 	}

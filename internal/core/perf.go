@@ -201,7 +201,21 @@ func BuildPerfModel(node area.Scaling, benchNames []string, warmup, commit int64
 // an explicit simulation concurrency degree (<= 0 = all cores). Once ctx
 // is done no new simulations start and the context's cause is returned.
 func BuildPerfModelFlow(ctx context.Context, node area.Scaling, benchNames []string, warmup, commit int64, workers int) (*PerfModel, error) {
+	return BuildPerfModelFlowParams(ctx, node, uarch.DefaultParams(), uarch.RescueParams(), benchNames, warmup, commit, workers)
+}
+
+// BuildPerfModelFlowParams is BuildPerfModelFlow over an explicit
+// (baseline, Rescue) parameter pair instead of the paper's Table 1
+// machines — the entry point for design-space variants. Node scaling is
+// applied on top of both, exactly as for the fixed configuration.
+func BuildPerfModelFlowParams(ctx context.Context, node area.Scaling, baseParams, rescParams uarch.Params, benchNames []string, warmup, commit int64, workers int) (*PerfModel, error) {
 	defer obs.Span(ctx, "perf_model")()
+	if err := baseParams.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rescParams.Validate(); err != nil {
+		return nil, err
+	}
 	profs, err := resolve(benchNames)
 	if err != nil {
 		return nil, err
@@ -232,9 +246,9 @@ func BuildPerfModelFlow(ctx context.Context, node area.Scaling, benchNames []str
 		j := jobs[i]
 		var p uarch.Params
 		if j.cfg < 0 {
-			p = ns.apply(uarch.DefaultParams())
+			p = ns.apply(baseParams)
 		} else {
-			p = ns.apply(uarch.RescueParams())
+			p = ns.apply(rescParams)
 			p.Degr = toDegraded(cfgs[j.cfg])
 		}
 		results[i], errs[i] = runIPC(p, profs[j.bench], warmup, commit)

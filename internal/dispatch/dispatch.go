@@ -44,7 +44,9 @@ type Config struct {
 	// Required, at least one.
 	Workers []string
 	// Flow is the job spec every worker re-executes to reach the target
-	// campaign — the coordinator's own kind and params. Required.
+	// campaign — the coordinator's own kind and params. Required for
+	// shard dispatch (Plan/Exec); a pool used only through ExecJob may
+	// leave it empty.
 	Flow serve.Spec
 	// Shards is how many pieces each eligible campaign splits into.
 	// 0 = len(Workers).
@@ -100,9 +102,6 @@ type ChaosConfig struct {
 func (c *Config) setDefaults() error {
 	if len(c.Workers) == 0 {
 		return fmt.Errorf("dispatch: need at least one worker URL")
-	}
-	if c.Flow.Kind == "" {
-		return fmt.Errorf("dispatch: need a flow spec")
 	}
 	if c.Flow.Kind == "shard" {
 		return fmt.Errorf("dispatch: shard flows do not nest")
@@ -232,6 +231,9 @@ func (p *Pool) Plan() *fault.ShardPlan {
 // budget. The returned error means the pool gave up; the campaign then
 // simulates the range locally.
 func (p *Pool) Exec(ctx context.Context, key fault.CampaignKey, lo, hi int) (*fault.ShardResult, error) {
+	if p.cfg.Flow.Kind == "" {
+		return nil, fmt.Errorf("dispatch: pool has no flow spec; shard dispatch needs Config.Flow")
+	}
 	spec, err := serve.ShardSpec(p.cfg.Flow, key, lo, hi)
 	if err != nil {
 		return nil, err
@@ -278,6 +280,90 @@ func (p *Pool) Exec(ctx context.Context, key fault.CampaignKey, lo, hi int) (*fa
 			return nil, context.Cause(ctx)
 		}
 	}
+}
+
+// ExecJob submits an arbitrary job spec to the pool and returns its raw
+// result bytes, under the same worker selection, retry budget, backoff,
+// and hung-worker detection as shard dispatch. It is how the sweep
+// coordinator fans grid points out: each point becomes a single-point
+// sweep job on some worker, and the caller verifies the returned frontier
+// line by content digest before merging. The returned error means the
+// pool gave up; the sweep then runs the point locally.
+func (p *Pool) ExecJob(ctx context.Context, spec serve.Spec) ([]byte, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		w := p.pick()
+		if w == nil {
+			return nil, fmt.Errorf("dispatch: no live workers for %s job (last error: %v)", spec.Kind, lastErr)
+		}
+		out, err := p.runJobRaw(ctx, w, body)
+		if err == nil {
+			n := p.completed.Add(1)
+			p.maybeChaos(n)
+			return out, nil
+		}
+		lastErr = err
+		busy, retryAfter := asBusy(err)
+		if !busy {
+			w.down.Store(true)
+			p.logf("worker %s suspected down after %s job: %v", w.url, spec.Kind, err)
+		}
+		if attempt >= p.cfg.RetryBudget {
+			return nil, fmt.Errorf("dispatch: %s job exhausted its retry budget (%d attempts): %w",
+				spec.Kind, attempt+1, err)
+		}
+		p.retries.Add(1)
+		wait := p.backoff(attempt, retryAfter)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+}
+
+// runJobRaw drives one generic job attempt on one worker: submit, watch
+// the event stream under the heartbeat watchdog, fetch the raw result.
+func (p *Pool) runJobRaw(ctx context.Context, w *worker, body []byte) ([]byte, error) {
+	id, err := p.submit(ctx, w, body)
+	if err != nil {
+		return nil, err
+	}
+	state, err := p.watch(ctx, w, id)
+	if err != nil {
+		p.cancelJob(w, id)
+		return nil, err
+	}
+	if state != "succeeded" {
+		return nil, fmt.Errorf("worker %s: job %s ended %s", w.url, id, state)
+	}
+	return p.fetchRaw(ctx, w, id)
+}
+
+// fetchRaw reads a finished job's result bytes verbatim.
+func (p *Pool) fetchRaw(ctx context.Context, w *worker, id string) ([]byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, p.cfg.SubmitTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, w.url+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("result from %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result from %s: HTTP %d", w.url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // pick returns the next live worker round-robin, or nil when every worker

@@ -17,9 +17,11 @@ import (
 
 	"rescue/internal/dispatch"
 	"rescue/internal/fault"
+	"rescue/internal/flows"
 	"rescue/internal/rtl"
 	"rescue/internal/scan"
 	"rescue/internal/serve"
+	"rescue/internal/sweep"
 )
 
 // miniFlow is the test job kind: one small deterministic campaign rendered
@@ -407,7 +409,6 @@ func TestDispatchConfigValidation(t *testing.T) {
 		cfg  dispatch.Config
 	}{
 		{"no workers", dispatch.Config{Flow: serve.Spec{Kind: "mini"}}},
-		{"no flow", dispatch.Config{Workers: []string{"http://x"}}},
 		{"nested shard", dispatch.Config{Workers: []string{"http://x"}, Flow: serve.Spec{Kind: "shard"}}},
 		{"chaos without kill", dispatch.Config{
 			Workers: []string{"http://x"},
@@ -421,6 +422,96 @@ func TestDispatchConfigValidation(t *testing.T) {
 				t.Fatal("NewPool accepted a bad config")
 			}
 		})
+	}
+
+	// A Flow-less pool is legal (ExecJob-only use), but shard dispatch
+	// through it must refuse rather than submit an empty kind.
+	t.Run("flowless pool refuses Exec", func(t *testing.T) {
+		p, err := dispatch.NewPool(dispatch.Config{Workers: []string{"http://x"}, HealthEvery: time.Hour})
+		if err != nil {
+			t.Fatalf("flow-less pool: %v", err)
+		}
+		defer p.Close()
+		if _, err := p.Exec(context.Background(), fault.CampaignKey{}, 0, 1); err == nil {
+			t.Fatal("Exec on a flow-less pool did not error")
+		}
+	})
+}
+
+// TestDispatchExecJobSweep: grid points fanned out to worker daemons as
+// single-point sweep jobs (ExecJob on a Flow-less pool) merge into a
+// frontier byte-identical to the all-local run, with no local fallbacks.
+func TestDispatchExecJobSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real small sweep flow locally and on workers")
+	}
+	spec := sweep.Spec{
+		Presets: []string{"paper"},
+		Axes:    map[string][]string{"chipkill-scale": {"1", "0.8"}},
+		Nodes:   []int{18},
+		Small:   true,
+		Dies:    40,
+		Warmup:  100,
+		Commit:  500,
+		Workers: 2,
+	}
+	toNDJSON := func(fr *sweep.Frontier) []byte {
+		var buf bytes.Buffer
+		if err := fr.WriteNDJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	local, err := sweep.Run(context.Background(), spec, sweep.Options{
+		Env: flows.Env{Store: flows.NewStore()}, Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := toNDJSON(local)
+
+	w1, w2 := newWorker(t), newWorker(t)
+	p, err := dispatch.NewPool(dispatch.Config{
+		Workers: workerURLs(w1, w2),
+		Seed:    11,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var fallbacks int
+	var mu sync.Mutex
+	remote, err := sweep.Run(context.Background(), spec, sweep.Options{
+		Env:         flows.Env{Store: flows.NewStore()},
+		Concurrency: 2,
+		Remote: func(ctx context.Context, one sweep.Spec, _ sweep.Point) ([]byte, error) {
+			body, err := json.Marshal(one)
+			if err != nil {
+				return nil, err
+			}
+			return p.ExecJob(ctx, serve.Spec{Kind: "sweep", Params: body})
+		},
+		OnPoint: func(ev sweep.PointEvent) {
+			if ev.Phase == "fallback" {
+				mu.Lock()
+				fallbacks++
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := toNDJSON(remote); !bytes.Equal(got, want) {
+		t.Fatalf("remote frontier differs from local:\n-- local --\n%s\n-- remote --\n%s", want, got)
+	}
+	if fallbacks != 0 {
+		t.Fatalf("%d points fell back locally, want 0", fallbacks)
+	}
+	if st := p.Stats(); st.Completed != 2 {
+		t.Fatalf("completed %d jobs remotely, want 2", st.Completed)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"rescue/internal/core"
 	"rescue/internal/fault"
 	"rescue/internal/rtl"
+	"rescue/internal/uarch"
 )
 
 // Env carries a flow invocation's environment: the artifact store (nil =
@@ -129,6 +130,133 @@ func (e Env) Dictionary(ctx context.Context, tp *core.TestProgram, key tpKey, wo
 		return a.d, fault.Stats{}, err
 	}
 	return a.d, a.st, err
+}
+
+// Variant-keyed accessors: the design-space sweep builds systems, test
+// programs, dictionaries, and perf models for arbitrary parameterized
+// variants. The caller (internal/sweep) computes canonical content
+// digests over the knobs that determine each artifact — the netlist
+// digest covers the RTL configuration and scan-chain split, the perf
+// digest covers the simulator parameters — and two sweep points whose
+// digests match share the artifact. Worker count stays out of every key,
+// as for the fixed-configuration accessors above.
+
+type sysAtKey struct {
+	Net string `json:"net"`
+}
+
+// SystemAt returns the built, scan-inserted, ICI-audited system for an
+// explicit netlist configuration and scan-chain split, cached under the
+// caller's netlist digest.
+func (e Env) SystemAt(netKey string, cfg rtl.Config, chains int, v rtl.Variant) (*core.System, error) {
+	build := func() (any, error) { return core.BuildChains(cfg, v, chains) }
+	if e.Store == nil {
+		s, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return s.(*core.System), nil
+	}
+	val, _, err := e.Store.do(digest("system", sysAtKey{netKey}), build)
+	if err != nil {
+		return nil, err
+	}
+	return val.(*core.System), nil
+}
+
+type tpAtKey struct {
+	Net            string `json:"net"`
+	Seed           int64  `json:"seed"`
+	MaxRandomWords int    `json:"maxRandomWords"`
+	UselessLimit   int    `json:"uselessLimit"`
+	MaxBacktracks  int    `json:"maxBacktracks"`
+}
+
+// testProgramAtKey is exported logic kept in one place: the cache key for
+// a variant test program is the netlist digest plus the generation knobs.
+func testProgramAtKey(netKey string, gen atpg.GenConfig) tpAtKey {
+	return tpAtKey{
+		Net:            netKey,
+		Seed:           gen.Seed,
+		MaxRandomWords: gen.MaxRandomWords,
+		UselessLimit:   gen.UselessLimit,
+		MaxBacktracks:  gen.MaxBacktracks,
+	}
+}
+
+// TestProgramAt returns the generated ATPG test set for a variant system,
+// cached under (netlist digest, generation config). Two sweep points that
+// share a netlist — same variant at different nodes — build it once.
+func (e Env) TestProgramAt(ctx context.Context, netKey string, sys *core.System, gen atpg.GenConfig) (*core.TestProgram, error) {
+	build := func() (any, error) { return sys.GenerateTestsFlow(ctx, gen, e.Ck) }
+	if e.Store == nil {
+		tp, err := build()
+		return tp.(*core.TestProgram), err
+	}
+	val, _, err := e.Store.do(digest("testprogram", testProgramAtKey(netKey, gen)), build)
+	if val == nil {
+		return &core.TestProgram{Gen: &atpg.GenResult{}}, err
+	}
+	return val.(*core.TestProgram), err
+}
+
+type dictAtKey struct {
+	TP tpAtKey `json:"tp"`
+}
+
+// DictionaryAt returns the full fault dictionary over a variant test
+// program, cached under the test program's key. Stats follow the same
+// warm-hit convention as Dictionary.
+func (e Env) DictionaryAt(ctx context.Context, netKey string, tp *core.TestProgram, gen atpg.GenConfig, workers int) (*fault.Dictionary, fault.Stats, error) {
+	build := func() (any, error) {
+		d, st, err := fault.BuildDictionaryFlow(ctx, tp.Gen.Sim, tp.Universe, workers, e.Ck)
+		return dictArtifact{d, st}, err
+	}
+	if e.Store == nil {
+		val, err := build()
+		a := val.(dictArtifact)
+		return a.d, a.st, err
+	}
+	val, hit, err := e.Store.do(digest("dictionary", dictAtKey{testProgramAtKey(netKey, gen)}), build)
+	if val == nil {
+		return nil, fault.Stats{}, err
+	}
+	a := val.(dictArtifact)
+	if hit {
+		return a.d, fault.Stats{}, err
+	}
+	return a.d, a.st, err
+}
+
+type pmAtKey struct {
+	Perf    string   `json:"perf"`
+	NodeNM  int      `json:"nodeNM"`
+	Benches []string `json:"benches"`
+	Warmup  int64    `json:"warmup"`
+	Commit  int64    `json:"commit"`
+}
+
+// PerfModelAt returns the per-(benchmark, degraded-configuration) IPC
+// table for an explicit (baseline, Rescue) parameter pair at a node,
+// cached under the caller's perf digest plus the node and measurement
+// knobs. The netlist digest is deliberately absent: perf simulation never
+// reads the netlist, so variants differing only in RTL knobs share it.
+func (e Env) PerfModelAt(ctx context.Context, perfKey string, node int, benches []string, warmup, commit int64, workers int, base, resc uarch.Params) (*core.PerfModel, error) {
+	build := func() (any, error) {
+		return core.BuildPerfModelFlowParams(ctx, area.Node(node), base, resc, benches, warmup, commit, workers)
+	}
+	if e.Store == nil {
+		pm, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return pm.(*core.PerfModel), nil
+	}
+	val, _, err := e.Store.do(digest("perfmodel", pmAtKey{perfKey, node, benches, warmup, commit}), build)
+	if err != nil {
+		return nil, err
+	}
+	return val.(*core.PerfModel), nil
 }
 
 type pmKey struct {

@@ -398,5 +398,11 @@ func SmallMix() []Profile {
 			Params: map[string]any{"small": true, "dies": 100, "warmup": 500, "commit": 2000}},
 		{Kind: "yat", Weight: 1,
 			Params: map[string]any{"bench": "gcc", "warmup": 500, "commit": 2000, "stagnate": 180}},
+		// A single-point design-space sweep: warm traffic reuses every
+		// artifact; a perturbed seed re-runs only the fleet campaign (the
+		// netlist/ATPG/IPC artifacts are seed-independent).
+		{Kind: "sweep", Weight: 1, SeedKey: "seed",
+			Params: map[string]any{"presets": []any{"paper"}, "small": true,
+				"dies": 40, "warmup": 100, "commit": 500}},
 	}
 }

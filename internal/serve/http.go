@@ -130,9 +130,33 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.handleEvents(w, r, j)
 	case sub == "journal" && r.Method == http.MethodGet:
 		s.handleJournal(w, j)
+	case strings.HasPrefix(sub, "points/") && r.Method == http.MethodDelete:
+		s.handlePointCancel(w, j, strings.TrimPrefix(sub, "points/"))
 	default:
 		writeErr(w, http.StatusNotFound, "no route /jobs/%s/%s", id, sub)
 	}
+}
+
+// handlePointCancel cancels one grid point of a running sweep job
+// (DELETE /jobs/{id}/points/{digest}). The rest of the grid keeps
+// running; the canceled point renders as canceled in the frontier. Only a
+// running sweep has cancelable points — other kinds and terminal jobs are
+// conflicts, an unknown digest is a lookup miss.
+func (s *Server) handlePointCancel(w http.ResponseWriter, j *Job, digest string) {
+	if sn := j.snapshot(); sn.State.Done() {
+		writeErr(w, http.StatusConflict, "job %s already %s; point cancel has no effect", j.ID, sn.State)
+		return
+	}
+	ctl := j.pointControl()
+	if ctl == nil {
+		writeErr(w, http.StatusConflict, "job %s has no cancelable points (not a running sweep)", j.ID)
+		return
+	}
+	if !ctl.CancelPoint(digest) {
+		writeErr(w, http.StatusNotFound, "job %s has no point %q", j.ID, digest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": j.ID, "point": digest, "canceled": true})
 }
 
 // handleJournal exports the job's checkpoint journal — the digest-sealed

@@ -104,6 +104,32 @@ type Job struct {
 	ckPath string
 
 	cancel func(error) // context cancellation with cause; set when scheduled
+
+	// pointCtl is the per-point cancellation surface a sweep runner
+	// registers while running (nil for every other kind).
+	pointCtl pointCanceler
+}
+
+// pointCanceler is the slice of sweep.Control the job surface needs:
+// cancel one grid point by digest, reporting whether the digest belongs
+// to the job's grid.
+type pointCanceler interface {
+	CancelPoint(digest string) bool
+}
+
+// setPointControl registers the running sweep's cancellation control.
+func (j *Job) setPointControl(c pointCanceler) {
+	j.mu.Lock()
+	j.pointCtl = c
+	j.mu.Unlock()
+}
+
+// pointControl returns the registered control, nil when the job is not a
+// running sweep.
+func (j *Job) pointControl() pointCanceler {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pointCtl
 }
 
 // setCkPath records the job's journal location once the runner opens it.

@@ -18,6 +18,10 @@ type RunContext struct {
 	// Workers is the server's default campaign concurrency; params that
 	// carry their own workers field override it.
 	Workers int
+	// CheckpointDir is the server's journal directory ("" = checkpointing
+	// off). Most kinds use the pre-opened Env.Ck; the sweep kind manages
+	// a journal directory of its own under it.
+	CheckpointDir string
 }
 
 // Runner executes one job kind. The returned bytes are the job's report —
@@ -61,6 +65,7 @@ func Kinds() map[string]Runner {
 		"isolation": runIsolation,
 		"yat":       runYAT,
 		"fab":       runFab,
+		"sweep":     runSweep,
 	}
 	m["shard"] = shardRunner(m)
 	return m

@@ -485,9 +485,11 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.setCkPath(ckPath)
 
+	ctx = withJob(ctx, j)
 	out, runErr := runner(ctx, RunContext{
-		Env:     flows.Env{Store: s.store, Ck: ck},
-		Workers: s.cfg.Workers,
+		Env:           flows.Env{Store: s.store, Ck: ck},
+		Workers:       s.cfg.Workers,
+		CheckpointDir: s.cfg.CheckpointDir,
 	}, j.Spec.Params)
 	j.finishOutput(out)
 	s.hJobSeconds.Observe(time.Since(start).Seconds())

@@ -59,6 +59,45 @@ type Degraded struct {
 	LSQHalvesDown     int
 }
 
+// DegradedError is the typed validation failure for impossible degraded
+// shapes: a field asking for more disabled groups or halves than the
+// design has (every redundant resource comes in exactly two), or a
+// negative count. Callers match it with errors.As to learn which knob
+// was out of range.
+type DegradedError struct {
+	Field string // the Degraded field name
+	Value int    // the rejected value
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("uarch: %s = %d out of range [0,2] (each redundant resource has exactly two members)", e.Field, e.Value)
+}
+
+// Validate rejects impossible degraded shapes. Counts of 2 are legal —
+// they describe a dead-but-representable configuration (Dead reports it,
+// MapOut refuses to ship it) — but 3+ halves of a two-half queue, or a
+// negative count, cannot describe any die and used to be silently clamped
+// or to panic deep in the simulator.
+func (d Degraded) Validate() error {
+	fields := []struct {
+		name string
+		v    int
+	}{
+		{"FEGroupsDisabled", d.FEGroupsDisabled},
+		{"IntGroupsDisabled", d.IntGroupsDisabled},
+		{"FPGroupsDisabled", d.FPGroupsDisabled},
+		{"IntIQHalvesDown", d.IntIQHalvesDown},
+		{"FPIQHalvesDown", d.FPIQHalvesDown},
+		{"LSQHalvesDown", d.LSQHalvesDown},
+	}
+	for _, f := range fields {
+		if f.v < 0 || f.v > 2 {
+			return &DegradedError{Field: f.name, Value: f.v}
+		}
+	}
+	return nil
+}
+
 // Dead reports whether the configuration cannot execute at all.
 func (d Degraded) Dead() bool {
 	return d.FEGroupsDisabled >= 2 || d.IntGroupsDisabled >= 2 ||
@@ -147,8 +186,8 @@ func (p Params) Validate() error {
 	if p.Rescue && (p.CompBufSlots < 1 || p.CompBufSlots > p.IntIQSize/2) {
 		return fmt.Errorf("uarch: CompBufSlots out of range")
 	}
-	if p.Degr.FEGroupsDisabled < 0 || p.Degr.FEGroupsDisabled > 2 {
-		return fmt.Errorf("uarch: bad FEGroupsDisabled")
+	if err := p.Degr.Validate(); err != nil {
+		return err
 	}
 	if !p.Rescue && (p.Degr != Degraded{}) {
 		return fmt.Errorf("uarch: degraded operation requires the Rescue design")
